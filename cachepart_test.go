@@ -1,0 +1,272 @@
+package cachepart
+
+import (
+	"testing"
+)
+
+func tinyParams() Params {
+	p := FastParams()
+	p.Scale = 64
+	p.Cores = 8
+	p.Duration = 0.002
+	p.RowsScan = 1 << 20
+	p.RowsAgg = 1 << 18
+	p.RowsProbe = 1 << 18
+	return p
+}
+
+func TestNewSystemFacade(t *testing.T) {
+	sys, err := NewSystem(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Machine.Cores() != 8 {
+		t.Errorf("cores = %d", sys.Machine.Cores())
+	}
+	if err := sys.SetPartitioning(true); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Engine.Policy().Enabled {
+		t.Error("partitioning not enabled")
+	}
+}
+
+func TestQueriesThroughFacade(t *testing.T) {
+	sys, err := NewSystem(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := NewScanQuery(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := NewAggQuery(sys, 10_000_000, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join, err := NewJoinQuery(sys, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sys.SplitCores()
+	m, err := sys.RunIsolated(scan, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Throughput <= 0 {
+		t.Error("scan made no progress")
+	}
+	ma, mb, err := sys.RunPair(agg, a, join, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Throughput <= 0 || mb.Throughput <= 0 {
+		t.Error("co-run made no progress")
+	}
+}
+
+func TestTPCHFacade(t *testing.T) {
+	p := tinyParams()
+	p.RowsAgg = 40_000
+	sys, err := NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewTPCH(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewTPCHQuery(sys, db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.RunIsolated(q, sys.AllCores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Throughput <= 0 {
+		t.Error("TPC-H Q1 made no progress")
+	}
+	if _, err := NewTPCHQuery(sys, db, 99); err == nil {
+		t.Error("query 99 accepted")
+	}
+}
+
+func TestACDOCAFacade(t *testing.T) {
+	sys, err := NewSystem(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acdoca, err := NewACDOCA(sys, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oltp, err := NewOLTPQuery(acdoca, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.RunIsolated(oltp, sys.AllCores()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Executions == 0 {
+		t.Error("no OLTP executions")
+	}
+	// Clamping of the projection width.
+	if _, err := NewOLTPQuery(acdoca, 99); err != nil {
+		t.Errorf("clamped projection rejected: %v", err)
+	}
+	if _, err := NewOLTPQuery(acdoca, 0); err != nil {
+		t.Errorf("clamped projection rejected: %v", err)
+	}
+}
+
+func TestPolicyFacade(t *testing.T) {
+	pol := DefaultPolicy(55<<20, 20)
+	pol.Enabled = true
+	if got := pol.MaskFor(Polluting, Footprint{}); got != 0x3 {
+		t.Errorf("polluting mask = %v", got)
+	}
+	if got := pol.MaskFor(Sensitive, Footprint{}); got != 0xfffff {
+		t.Errorf("sensitive mask = %v", got)
+	}
+	curve := []CurvePoint{{Ways: 1, Throughput: 1}, {Ways: 20, Throughput: 1}}
+	cuid, err := ClassifyCurve(curve, 20)
+	if err != nil || cuid != Polluting {
+		t.Errorf("ClassifyCurve = %v, %v", cuid, err)
+	}
+	derived, err := DeriveScheme(55<<20, 20, [][]CurvePoint{curve})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived.Enabled = true
+	if derived.MaskFor(Polluting, Footprint{}) != 0x3 {
+		t.Error("derived scheme mask wrong")
+	}
+}
+
+func TestGenerateColumn(t *testing.T) {
+	sys, err := NewSystem(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := GenerateColumn(sys, "custom", 1000, 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Rows() != 1000 {
+		t.Errorf("rows = %d", col.Rows())
+	}
+	for i := 0; i < 1000; i += 111 {
+		if v := col.Value(i); v < 5 || v > 50 {
+			t.Fatalf("value %d out of range", v)
+		}
+	}
+}
+
+// TestSQLFacadeEndToEnd drives the paper's Figure 2/3 SQL through the
+// facade: DDL, bulk load, planning with CUIDs, synchronous results,
+// and an engine co-run where partitioning must help the aggregation.
+func TestSQLFacadeEndToEnd(t *testing.T) {
+	p := tinyParams()
+	p.Duration = 0.003
+	sys, err := NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog(sys)
+	for _, ddl := range []string{
+		"CREATE COLUMN TABLE A( X INT );",
+		"CREATE COLUMN TABLE B( V INT, G INT );",
+		"CREATE COLUMN TABLE R( P INT, PRIMARY KEY(P));",
+		"CREATE COLUMN TABLE S( F INT );",
+	} {
+		if err := cat.Exec(ddl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scale := int64(p.Scale)
+	rows := 1 << 19
+	if err := cat.BulkUniform(sys.Rng, "A", rows, map[string][2]int64{"X": {1, 1_000_000 / scale}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.BulkUniform(sys.Rng, "B", rows, map[string][2]int64{
+		"V": {1, 10_000_000 / scale}, "G": {1, 10_000 / scale},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	keyRows := 4096
+	if err := cat.BulkUniform(sys.Rng, "R", keyRows, map[string][2]int64{"P": {1, int64(keyRows)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.BulkUniform(sys.Rng, "S", rows, map[string][2]int64{"F": {1, int64(keyRows)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	scan, err := PlanQuery(cat, "SELECT COUNT(*) FROM A WHERE A.X > ?;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := PlanQuery(cat, "SELECT MAX(B.V), B.G FROM B GROUP BY B.G;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	join, err := PlanQuery(cat, "SELECT COUNT(*) FROM R, S WHERE R.P = S.F;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.CUID() != Polluting || agg.CUID() != Sensitive || join.CUID() != Depends {
+		t.Errorf("CUIDs = %v %v %v", scan.CUID(), agg.CUID(), join.CUID())
+	}
+	// Synchronous join result: every FK matches a PK.
+	if err := ExecutePlan(sys, join, 1); err != nil {
+		t.Fatal(err)
+	}
+	if join.Count() != int64(rows) {
+		t.Errorf("join count = %d, want %d", join.Count(), rows)
+	}
+
+	// Co-run via the engine: partitioning must improve the SQL-planned
+	// aggregation.
+	ca, cb := sys.SplitCores()
+	iso, err := sys.RunIsolated(agg, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetPartitioning(false); err != nil {
+		t.Fatal(err)
+	}
+	_, shared, err := sys.RunPair(scan, ca, agg, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetPartitioning(true); err != nil {
+		t.Fatal(err)
+	}
+	_, part, err := sys.RunPair(scan, ca, agg, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := shared.Throughput / iso.Throughput
+	pt := part.Throughput / iso.Throughput
+	if pt < sh*1.05 {
+		t.Errorf("partitioning did not help SQL-planned aggregation: %.3f -> %.3f", sh, pt)
+	}
+}
+
+func TestFig1Facade(t *testing.T) {
+	p := tinyParams()
+	r, err := Fig1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Isolated != 1.0 {
+		t.Errorf("isolated baseline = %v", r.Isolated)
+	}
+	if r.Concurrent <= 0 || r.Concurrent > 1.2 {
+		t.Errorf("concurrent = %v", r.Concurrent)
+	}
+	if r.Partitioned < r.Concurrent {
+		t.Errorf("partitioning regressed the OLTP query: %v -> %v", r.Concurrent, r.Partitioned)
+	}
+}

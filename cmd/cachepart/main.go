@@ -1,0 +1,254 @@
+// Command cachepart regenerates the paper's tables and figures on the
+// simulated machine. Each subcommand runs one experiment and prints
+// the series the paper plots.
+//
+// Usage:
+//
+//	cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|all>
+//
+// Flags tune the machine scale, core count and the simulated
+// measurement window; see -help.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cachepart/internal/core"
+	"cachepart/internal/harness"
+	"cachepart/internal/resctrl"
+)
+
+func main() {
+	var (
+		fast     = flag.Bool("fast", false, "use 1/32-scale test parameters")
+		scale    = flag.Int("scale", 0, "divide the paper machine's sizes by this factor (default 8, or 32 with -fast)")
+		cores    = flag.Int("cores", 0, "simulated physical cores (default 22)")
+		duration = flag.Float64("duration", 0, "simulated seconds per measurement (default 0.008)")
+		rows     = flag.Int("rows", 0, "sampled rows per aggregation/join input (default ~2M)")
+		scanRows = flag.Int("scanrows", 0, "rows of the scan column (default ~33M; must exceed the scaled LLC several times)")
+		ways     = flag.String("ways", "", "comma-separated LLC way limits to sweep (default 2,4,...,20)")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p := harness.Default()
+	if *fast {
+		p = harness.Fast()
+		p.Cores = 22
+	}
+	if *scale > 0 {
+		p.Scale = *scale
+	}
+	if *cores > 0 {
+		p.Cores = *cores
+	}
+	if *duration > 0 {
+		p.Duration = *duration
+	}
+	if *rows > 0 {
+		p.RowsAgg = *rows
+		p.RowsProbe = *rows
+	}
+	if *scanRows > 0 {
+		p.RowsScan = *scanRows
+	}
+	if *ways != "" {
+		p.Ways = nil
+		for _, field := range strings.Split(*ways, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || w < 1 || w > 20 {
+				fmt.Fprintf(os.Stderr, "cachepart: bad -ways entry %q\n", field)
+				os.Exit(2)
+			}
+			p.Ways = append(p.Ways, w)
+		}
+	}
+	p.Seed = *seed
+
+	cmd := flag.Arg(0)
+	t0 := time.Now()
+	var err error
+	switch cmd {
+	case "fig1":
+		err = runFig1(p)
+	case "fig4":
+		err = runFig4(p)
+	case "fig5":
+		err = runFig5(p)
+	case "fig6":
+		err = runFig6(p)
+	case "fig9":
+		err = runFig9(p)
+	case "fig10":
+		err = runFig10(p)
+	case "fig11":
+		err = runFig11(p)
+	case "fig12":
+		err = runFig12(p)
+	case "proj":
+		err = runProj(p)
+	case "derive":
+		err = runDerive(p)
+	case "cosched":
+		err = runCoSched(p)
+	case "all":
+		for _, f := range []func(harness.Params) error{
+			runFig4, runFig5, runFig6, runFig9, runFig10, runFig11, runFig12, runFig1, runProj, runDerive, runCoSched,
+		} {
+			if err = f(p); err != nil {
+				break
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cachepart: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("(%s, scale 1/%d, %d cores, %.0f ms windows, completed in %.1fs)\n",
+		cmd, p.Scale, p.Cores, p.Duration*1e3, time.Since(t0).Seconds())
+}
+
+func runFig1(p harness.Params) error {
+	r, err := harness.Fig1(p)
+	if err != nil {
+		return err
+	}
+	harness.PrintFig1(os.Stdout, r)
+	return nil
+}
+
+func runFig4(p harness.Params) error {
+	pts, err := harness.Fig4(p)
+	if err != nil {
+		return err
+	}
+	harness.PrintWayPoints(os.Stdout, "Figure 4 — column scan vs. LLC size (expect: flat)", pts)
+	return nil
+}
+
+func runFig5(p harness.Params) error {
+	sets, err := harness.Fig5(p)
+	if err != nil {
+		return err
+	}
+	harness.PrintCurveSets(os.Stdout, "Figure 5 — aggregation vs. LLC size (expect: knees where hash table ≈ LLC)", sets)
+	return nil
+}
+
+func runFig6(p harness.Params) error {
+	series, err := harness.Fig6(p)
+	if err != nil {
+		return err
+	}
+	harness.PrintGroupSeries(os.Stdout, "Figure 6 — foreign-key join vs. LLC size (expect: only P=1e8 sensitive)", series)
+	return nil
+}
+
+func runFig9(p harness.Params) error {
+	panels, err := harness.Fig9(p)
+	if err != nil {
+		return err
+	}
+	for _, panel := range panels {
+		harness.PrintPairRows(os.Stdout,
+			"Figure 9 — scan ∥ aggregation, "+panel.Label+" (A=scan, B=aggregation)", panel.Rows)
+	}
+	return nil
+}
+
+func runFig10(p harness.Params) error {
+	rows, err := harness.Fig10(p)
+	if err != nil {
+		return err
+	}
+	harness.PrintPairRows(os.Stdout,
+		"Figure 10 — aggregation ∥ join under join→10% and join→60% schemes (A=aggregation, B=join)", rows)
+	return nil
+}
+
+func runFig11(p harness.Params) error {
+	rows, err := harness.Fig11(p)
+	if err != nil {
+		return err
+	}
+	harness.PrintPairRows(os.Stdout,
+		"Figure 11 — column scan ∥ TPC-H queries (A=scan, B=TPC-H; expect Q1/Q7/Q8/Q9 to gain most)", rows)
+	return nil
+}
+
+func runFig12(p harness.Params) error {
+	rows, err := harness.Fig12(p)
+	if err != nil {
+		return err
+	}
+	harness.PrintPairRows(os.Stdout,
+		"Figure 12 — column scan ∥ S/4HANA OLTP query (A=scan, B=OLTP)", rows)
+	return nil
+}
+
+func runProj(p harness.Params) error {
+	rows, err := harness.FigProjSweep(p)
+	if err != nil {
+		return err
+	}
+	harness.PrintPairRows(os.Stdout,
+		"Section VI-E sweep — OLTP benefit vs. projected columns (A=scan, B=OLTP)", rows)
+	return nil
+}
+
+func runCoSched(p harness.Params) error {
+	row, err := harness.FigCoSchedule(p)
+	if err != nil {
+		return err
+	}
+	harness.PrintCoSchedule(os.Stdout, row)
+	return nil
+}
+
+// runDerive demonstrates the automated Section V-B: derive the
+// partitioning scheme from the measured scan curve.
+func runDerive(p harness.Params) error {
+	pts, err := harness.Fig4(p)
+	if err != nil {
+		return err
+	}
+	curve := make([]core.CurvePoint, 0, len(pts))
+	for _, pt := range pts {
+		curve = append(curve, core.CurvePoint{Ways: pt.Ways, Throughput: pt.Norm})
+	}
+	cuid, err := core.ClassifyCurve(curve, 20)
+	if err != nil {
+		return err
+	}
+	pol, err := core.DeriveScheme(55<<20, 20, [][]core.CurvePoint{curve})
+	if err != nil {
+		return err
+	}
+	pol.Enabled = true
+	fmt.Printf("Derived scheme — the scan classifies as %q; polluting mask %v (%d of 20 ways)\n\n",
+		cuid, pol.MaskFor(core.Polluting, core.Footprint{}),
+		pol.MaskFor(core.Polluting, core.Footprint{}).Ways())
+	script, err := resctrl.Script(pol)
+	if err != nil {
+		return err
+	}
+	fmt.Println("To apply on a real Linux machine with CAT:")
+	fmt.Println(script)
+	return nil
+}

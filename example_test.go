@@ -1,0 +1,102 @@
+package cachepart_test
+
+import (
+	"fmt"
+	"log"
+
+	"cachepart"
+)
+
+// The paper's partitioning scheme (Section V-B/V-C): polluting jobs
+// get 10% of a 20-way LLC, sensitive jobs the full cache, joins 10%
+// or 60% by the bit-vector heuristic.
+func ExampleDefaultPolicy() {
+	policy := cachepart.DefaultPolicy(55<<20, 20)
+	policy.Enabled = true
+
+	fmt.Println("polluting:", policy.MaskFor(cachepart.Polluting, cachepart.Footprint{}))
+	fmt.Println("sensitive:", policy.MaskFor(cachepart.Sensitive, cachepart.Footprint{}))
+	fmt.Println("join, 10^6 keys:", policy.MaskFor(cachepart.Depends,
+		cachepart.Footprint{BitVectorBytes: 125_000}))
+	fmt.Println("join, 10^8 keys:", policy.MaskFor(cachepart.Depends,
+		cachepart.Footprint{BitVectorBytes: 12_500_000}))
+	// Output:
+	// polluting: 0x3
+	// sensitive: 0xfffff
+	// join, 10^6 keys: 0x3
+	// join, 10^8 keys: 0xfff
+}
+
+// Classifying operators from measured LLC sweeps automates the paper's
+// Section V-B: a flat curve is a polluter, one that needs the whole
+// cache is sensitive.
+func ExampleClassifyCurve() {
+	flat := make([]cachepart.CurvePoint, 20)
+	rising := make([]cachepart.CurvePoint, 20)
+	for i := range flat {
+		flat[i] = cachepart.CurvePoint{Ways: i + 1, Throughput: 1.0}
+		rising[i] = cachepart.CurvePoint{Ways: i + 1, Throughput: 0.3 + 0.035*float64(i+1)}
+	}
+	scan, _ := cachepart.ClassifyCurve(flat, 20)
+	agg, _ := cachepart.ClassifyCurve(rising, 20)
+	fmt.Println("scan-like curve:", scan)
+	fmt.Println("aggregation-like curve:", agg)
+	// Output:
+	// scan-like curve: polluting
+	// aggregation-like curve: sensitive
+}
+
+// The SQL planner recognises the paper's three query shapes (Figure 2)
+// and annotates each with its cache usage identifier.
+func ExamplePlanQuery() {
+	sys, err := cachepart.NewSystem(cachepart.FastParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat := cachepart.NewCatalog(sys)
+	for _, ddl := range []string{
+		"CREATE COLUMN TABLE A( X INT );",
+		"CREATE COLUMN TABLE B( V INT, G INT );",
+		"CREATE COLUMN TABLE R( P INT, PRIMARY KEY(P));",
+		"CREATE COLUMN TABLE S( F INT );",
+	} {
+		if err := cat.Exec(ddl); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cat.Exec("INSERT INTO A VALUES (1), (2), (3)"); err != nil {
+		log.Fatal(err)
+	}
+	if err := cat.Exec("INSERT INTO B VALUES (10, 1), (20, 1), (5, 2)"); err != nil {
+		log.Fatal(err)
+	}
+	if err := cat.Exec("INSERT INTO R VALUES (1), (2)"); err != nil {
+		log.Fatal(err)
+	}
+	if err := cat.Exec("INSERT INTO S VALUES (1), (1), (2)"); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, q := range []string{
+		"SELECT COUNT(*) FROM A WHERE A.X > ?;",
+		"SELECT MAX(B.V), B.G FROM B GROUP BY B.G;",
+		"SELECT COUNT(*) FROM R, S WHERE R.P = S.F;",
+	} {
+		plan, err := cachepart.PlanQuery(cat, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s -> %v\n", plan.Kind, plan.CUID())
+	}
+
+	join, _ := cachepart.PlanQuery(cat, "SELECT COUNT(*) FROM R, S WHERE R.P = S.F;")
+	if err := cachepart.ExecutePlan(sys, join, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("join count:", join.Count())
+	// Output:
+	// scan-count -> polluting
+	// group-aggregate -> sensitive
+	// join-count -> depends
+	// join count: 3
+}

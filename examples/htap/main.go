@@ -1,0 +1,75 @@
+// HTAP: the paper's motivating scenario (Figures 1 and 12). An
+// S/4HANA-style OLTP query — primary-key lookup on a wide ACDOCA-like
+// table followed by a projection through large NVARCHAR dictionaries —
+// shares the machine with an analytical column scan. Cache
+// partitioning protects the OLTP query's dictionaries from the scan's
+// pollution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachepart"
+)
+
+func main() {
+	params := cachepart.FastParams()
+	params.Cores = 22
+
+	sys, err := cachepart.NewSystem(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The ACDOCA model: five primary-key columns with an inverted
+	// index, 13 big-dictionary projection columns.
+	acdoca, err := cachepart.NewACDOCA(sys, 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scan, err := cachepart.NewScanQuery(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The OLAP scan takes most of the machine; the OLTP query runs in
+	// a small dedicated pool, as the engine does (Section V-C).
+	all := sys.AllCores()
+	olapCores, oltpCores := all[:len(all)-2], all[len(all)-2:]
+
+	fmt.Println("projected columns | OLTP vs isolated:  shared   partitioned   gain")
+	for _, cols := range []int{2, 6, 13} {
+		oltp, err := cachepart.NewOLTPQuery(acdoca, cols)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		if err := sys.SetPartitioning(false); err != nil {
+			log.Fatal(err)
+		}
+		alone, err := sys.RunIsolated(oltp, oltpCores)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, shared, err := sys.RunPair(scan, olapCores, oltp, oltpCores)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.SetPartitioning(true); err != nil {
+			log.Fatal(err)
+		}
+		_, part, err := sys.RunPair(scan, olapCores, oltp, oltpCores)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		sh := shared.Throughput / alone.Throughput
+		pt := part.Throughput / alone.Throughput
+		fmt.Printf("%17d | %26.1f%% %12.1f%% %+6.1f%%\n",
+			cols, 100*sh, 100*pt, 100*(pt-sh))
+	}
+
+	fmt.Println("\nThe wider the projection, the more dictionaries must stay cached,")
+	fmt.Println("and the more the OLTP query gains from restricting the scan to 10%.")
+}

@@ -1,0 +1,98 @@
+// Scheme derivation: Section V-B as code. Instead of hand-reading the
+// micro-benchmark plots, measure each operator's LLC-size sweep on the
+// simulated machine, classify it (polluting / sensitive / depends),
+// and derive the partitioning policy automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachepart"
+)
+
+func main() {
+	params := cachepart.FastParams()
+	params.Cores = 22
+	params.Ways = []int{2, 4, 8, 12, 16, 20}
+
+	sys, err := cachepart.NewSystem(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sweep each operator across LLC sizes, as Section IV does.
+	sweep := func(q cachepart.Query) []cachepart.CurvePoint {
+		var pts []cachepart.CurvePoint
+		var best float64
+		for _, w := range params.Ways {
+			if err := sys.Engine.LimitWays(w); err != nil {
+				log.Fatal(err)
+			}
+			m, err := sys.RunIsolated(q, sys.AllCores())
+			if err != nil {
+				log.Fatal(err)
+			}
+			pts = append(pts, cachepart.CurvePoint{Ways: w, Throughput: m.Throughput})
+			if m.Throughput > best {
+				best = m.Throughput
+			}
+		}
+		if err := sys.Engine.LimitWays(0); err != nil {
+			log.Fatal(err)
+		}
+		for i := range pts {
+			pts[i].Throughput /= best
+		}
+		return pts
+	}
+
+	scan, err := cachepart.NewScanQuery(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg, err := cachepart.NewAggQuery(sys, 10_000_000, 10_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	join, err := cachepart.NewJoinQuery(sys, 100_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	curves := map[string][]cachepart.CurvePoint{}
+	for name, q := range map[string]cachepart.Query{
+		"column scan":      scan,
+		"aggregation":      agg,
+		"foreign-key join": join,
+	} {
+		curves[name] = sweep(q)
+	}
+
+	fmt.Println("operator classification from measured curves:")
+	var pollutingCurves [][]cachepart.CurvePoint
+	for _, name := range []string{"column scan", "aggregation", "foreign-key join"} {
+		cuid, err := cachepart.ClassifyCurve(curves[name], 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-17s -> %v   (norm. throughput at 2/20 ways: %.2f / %.2f)\n",
+			name, cuid, curves[name][0].Throughput, curves[name][len(curves[name])-1].Throughput)
+		if cuid == cachepart.Polluting {
+			pollutingCurves = append(pollutingCurves, curves[name])
+		}
+	}
+
+	policy, err := cachepart.DeriveScheme(uint64(sys.LLCBytes()), 20, pollutingCurves)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy.Enabled = true
+	fmt.Printf("\nderived scheme:\n")
+	fmt.Printf("  polluting jobs  -> %v\n", policy.MaskFor(cachepart.Polluting, cachepart.Footprint{}))
+	fmt.Printf("  sensitive jobs  -> %v\n", policy.MaskFor(cachepart.Sensitive, cachepart.Footprint{}))
+	fmt.Printf("  join, small bit vector      -> %v\n",
+		policy.MaskFor(cachepart.Depends, cachepart.Footprint{BitVectorBytes: 125_000}))
+	fmt.Printf("  join, LLC-comparable vector -> %v\n",
+		policy.MaskFor(cachepart.Depends, cachepart.Footprint{BitVectorBytes: uint64(sys.LLCBytes() / 4)}))
+}

@@ -1,0 +1,3 @@
+module cachepart
+
+go 1.24

@@ -1,0 +1,155 @@
+package cachesim
+
+import "cachepart/internal/cat"
+
+// entry is one cache line slot.
+type entry struct {
+	tag   uint64 // line number + 1; 0 means invalid
+	ready int64  // tick at which the fill completes (prefetch in flight)
+	lru   uint32 // last-use stamp
+	dirty bool
+	// clos records, for LLC entries, the class of service of the core
+	// that filled the line — the RMID-style tag Cache Monitoring
+	// Technology attributes occupancy with.
+	clos uint8
+	// owners is used only in the shared LLC: a bitmask of cores that
+	// pulled the line into their private caches since the fill, so an
+	// inclusive back-invalidation only has to visit those cores.
+	owners uint32
+}
+
+// cache is one set-associative cache. It stores no data, only tags and
+// replacement state; the caller interprets hits and misses.
+type cache struct {
+	sets    int
+	ways    int
+	entries []entry // sets*ways, way-major within a set
+	stamp   uint32
+}
+
+func newCache(g Geometry) cache {
+	return cache{
+		sets:    g.Sets(),
+		ways:    g.Ways,
+		entries: make([]entry, g.Sets()*g.Ways),
+	}
+}
+
+func (c *cache) setIndex(line uint64) int {
+	return int(line % uint64(c.sets))
+}
+
+// lookup finds the line. On a hit it refreshes the LRU stamp and
+// returns the entry. The tag convention stores line+1 so a zero entry
+// is invalid.
+func (c *cache) lookup(line uint64) *entry {
+	base := c.setIndex(line) * c.ways
+	tag := line + 1
+	set := c.entries[base : base+c.ways]
+	for i := range set {
+		if set[i].tag == tag {
+			c.stamp++
+			set[i].lru = c.stamp
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// peek is lookup without touching replacement state.
+func (c *cache) peek(line uint64) *entry {
+	base := c.setIndex(line) * c.ways
+	tag := line + 1
+	set := c.entries[base : base+c.ways]
+	for i := range set {
+		if set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// fill inserts the line, evicting the LRU way. It returns the evicted
+// entry by value (tag 0 if the victim way was invalid) so the caller
+// can handle writebacks and inclusive invalidations.
+func (c *cache) fill(line uint64, ready int64) (victim entry, slot *entry) {
+	base := c.setIndex(line) * c.ways
+	set := c.entries[base : base+c.ways]
+	vi := 0
+	for i := range set {
+		if set[i].tag == 0 {
+			vi = i
+			break
+		}
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	victim = set[vi]
+	c.stamp++
+	set[vi] = entry{tag: line + 1, ready: ready, lru: c.stamp}
+	return victim, &set[vi]
+}
+
+// fillMasked inserts the line choosing the victim only among the ways
+// allowed by the CAT capacity mask, which is how Cache Allocation
+// Technology restricts fills. Bit i of the mask corresponds to way i.
+func (c *cache) fillMasked(line uint64, ready int64, mask cat.WayMask) (victim entry, slot *entry) {
+	base := c.setIndex(line) * c.ways
+	set := c.entries[base : base+c.ways]
+	vi := -1
+	for i := range set {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if set[i].tag == 0 {
+			vi = i
+			break
+		}
+		if vi < 0 || set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	if vi < 0 {
+		// An empty mask cannot be programmed through cat.Registers;
+		// fall back to unrestricted replacement defensively.
+		return c.fill(line, ready)
+	}
+	victim = set[vi]
+	c.stamp++
+	set[vi] = entry{tag: line + 1, ready: ready, lru: c.stamp}
+	return victim, &set[vi]
+}
+
+// invalidate drops the line if present, returning whether it was dirty.
+func (c *cache) invalidate(line uint64) (present, dirty bool) {
+	if e := c.peek(line); e != nil {
+		dirty = e.dirty
+		*e = entry{}
+		return true, dirty
+	}
+	return false, false
+}
+
+// flush invalidates every line.
+func (c *cache) flush() {
+	clear(c.entries)
+	c.stamp = 0
+}
+
+// occupancy counts valid lines, optionally restricted to lines within
+// [loLine, hiLine). Used by tests and diagnostics.
+func (c *cache) occupancy(loLine, hiLine uint64) int {
+	n := 0
+	for i := range c.entries {
+		t := c.entries[i].tag
+		if t == 0 {
+			continue
+		}
+		line := t - 1
+		if line >= loLine && line < hiLine {
+			n++
+		}
+	}
+	return n
+}

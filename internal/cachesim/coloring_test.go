@@ -1,0 +1,76 @@
+package cachesim
+
+import (
+	"testing"
+
+	"cachepart/internal/memory"
+)
+
+// TestPageColoringContainsPollution verifies the software baseline:
+// confining the polluter's data to 10% of the page colors protects a
+// victim working set in the remaining sets, comparably to a CAT mask —
+// the contrast the paper draws in Section V-A.
+func TestPageColoringContainsPollution(t *testing.T) {
+	cfg := testConfig()
+	cfg.LLC = Geometry{Size: 1 << 20, Ways: 16} // 1024 sets -> 16 colors
+	numColors := memory.NumColors(cfg.LLC.Sets())
+	if numColors != 16 {
+		t.Fatalf("colors = %d, want 16", numColors)
+	}
+
+	run := func(colored bool) (victimMisses uint64) {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		space := memory.NewSpace()
+		// Victim working set on the colors the polluter avoids.
+		hot, err := space.AllocColored("hot", cfg.LLC.Size/4,
+			[]int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, numColors)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Polluter data: colored into 2 of 16 colors, or plain.
+		var polluterAddr func(off uint64) memory.Addr
+		streamSize := cfg.LLC.Size * 8
+		if colored {
+			cr, err := space.AllocColored("stream", streamSize, []int{0, 1}, numColors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			polluterAddr = cr.Addr
+		} else {
+			r := space.Alloc("stream", streamSize)
+			polluterAddr = r.Addr
+		}
+
+		// Warm the victim.
+		for off := uint64(0); off < hot.Size(); off += memory.LineSize {
+			m.Access(0, hot.Addr(off), false)
+		}
+		// Interleave victim loops with the polluter's stream.
+		var streamOff uint64
+		before := m.Stats(0).LLCMisses
+		for round := 0; round < 3; round++ {
+			for off := uint64(0); off < hot.Size(); off += memory.LineSize {
+				m.Access(0, hot.Addr(off), false)
+				for k := 0; k < 4; k++ {
+					m.Access(1, polluterAddr(streamOff), false)
+					streamOff = (streamOff + memory.LineSize) % streamSize
+				}
+			}
+		}
+		return m.Stats(0).LLCMisses - before
+	}
+
+	plain := run(false)
+	colored := run(true)
+	if plain == 0 {
+		t.Fatal("expected pollution without coloring")
+	}
+	if colored*5 > plain {
+		t.Errorf("page coloring should contain most pollution: %d -> %d victim misses",
+			plain, colored)
+	}
+}

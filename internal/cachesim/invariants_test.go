@@ -1,0 +1,151 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cachepart/internal/cat"
+	"cachepart/internal/memory"
+)
+
+// TestLRUWithinAssociativity: touching at most `ways` distinct lines of
+// one set keeps all of them resident — the defining property of LRU.
+func TestLRUWithinAssociativity(t *testing.T) {
+	cfg := testConfig()
+	m := newTestMachine(t, cfg)
+	sets := cfg.LLC.Sets()
+	// Lines mapping to the same LLC set: stride = sets lines.
+	base := memory.Addr(memory.PageSize)
+	ways := cfg.LLC.Ways
+	lines := make([]memory.Addr, ways)
+	for i := range lines {
+		lines[i] = base + memory.Addr(i*sets*memory.LineSize)
+	}
+	// Several rounds over the set's worth of lines.
+	for round := 0; round < 3; round++ {
+		for _, a := range lines {
+			m.Access(0, a, false)
+		}
+	}
+	st := m.Stats(0)
+	if st.LLCMisses != uint64(ways) {
+		t.Errorf("misses = %d, want exactly %d cold misses", st.LLCMisses, ways)
+	}
+}
+
+// TestLRUEvictionOccupancy: inserting ways+1 same-set lines keeps
+// exactly `ways` of them resident.
+func TestLRUEvictionOccupancy(t *testing.T) {
+	cfg := testConfig()
+	cfg.PrefetchDepth = 0
+	m := newTestMachine(t, cfg)
+	sets := cfg.LLC.Sets()
+	base := memory.Addr(memory.PageSize)
+	addr := func(i int) memory.Addr { return base + memory.Addr(i*sets*memory.LineSize) }
+	ways := cfg.LLC.Ways
+
+	for i := 0; i <= ways; i++ {
+		m.Access(0, addr(i), false)
+		if i < ways {
+			// Keep older lines warmer than line i+1 will be.
+			for j := 0; j <= i; j++ {
+				m.Access(0, addr(j), false)
+			}
+		}
+	}
+	// addr(0..ways) inserted; capacity is `ways`; at least one evicted.
+	resident := 0
+	for i := 0; i <= ways; i++ {
+		if m.LLCOccupancy(addr(i), addr(i)+memory.LineSize) > 0 {
+			resident++
+		}
+	}
+	if resident != ways {
+		t.Errorf("resident = %d, want exactly %d", resident, ways)
+	}
+}
+
+// TestMaskedFillsStayInMask (white-box): after a masked core streams,
+// no line of its region occupies a disallowed way.
+func TestMaskedFillsStayInMask(t *testing.T) {
+	cfg := testConfig()
+	m := newTestMachine(t, cfg)
+	if err := m.CAT().SetMask(1, 0x3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CAT().Associate(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	space := memory.NewSpace()
+	data := space.Alloc("stream", cfg.LLC.Size*2)
+	for off := uint64(0); off < data.Size; off += memory.LineSize {
+		m.Access(0, data.Addr(off), false)
+	}
+	lo, hi := data.Base.Line(), (data.Base + memory.Addr(data.Size)).Line()
+	for set := 0; set < m.llc.sets; set++ {
+		for way := 0; way < m.llc.ways; way++ {
+			e := m.llc.entries[set*m.llc.ways+way]
+			if e.tag == 0 {
+				continue
+			}
+			line := e.tag - 1
+			if line >= lo && line < hi && way >= 2 {
+				t.Fatalf("masked stream line in way %d of set %d", way, set)
+			}
+		}
+	}
+}
+
+// TestAccessLevelMonotone (property): repeating the same access
+// immediately always hits L1.
+func TestAccessRepeatHitsL1(t *testing.T) {
+	cfg := testConfig()
+	m := newTestMachine(t, cfg)
+	f := func(raw uint32, write bool) bool {
+		a := memory.Addr(memory.PageSize + uint64(raw)%(1<<24))
+		m.Access(2, a, write)
+		return m.Access(2, a, false) == L1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOccupancyConservation (property): under random traffic from
+// several cores and random mask changes, total CMT occupancy equals
+// the valid-line count and never exceeds capacity.
+func TestOccupancyConservation(t *testing.T) {
+	cfg := testConfig()
+	m := newTestMachine(t, cfg)
+	rng := rand.New(rand.NewSource(3))
+	space := memory.NewSpace()
+	data := space.Alloc("d", cfg.LLC.Size*4)
+
+	masks := []cat.WayMask{0x3, 0xff, cat.FullMask(16)}
+	for step := 0; step < 20_000; step++ {
+		if step%2048 == 0 {
+			clos := rng.Intn(3)
+			if err := m.CAT().SetMask(clos, masks[rng.Intn(len(masks))]); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.CAT().Associate(rng.Intn(cfg.Cores), clos); err != nil {
+				t.Fatal(err)
+			}
+		}
+		core := rng.Intn(cfg.Cores)
+		off := uint64(rng.Int63n(int64(data.Size/memory.LineSize))) * memory.LineSize
+		m.Access(core, data.Addr(off), rng.Intn(4) == 0)
+	}
+	var occTotal uint64
+	for clos := 0; clos < cfg.NumCLOS; clos++ {
+		occTotal += m.LLCOccupancyOfCLOS(clos)
+	}
+	valid := uint64(m.llc.occupancy(0, ^uint64(0))) * memory.LineSize
+	if occTotal != valid {
+		t.Errorf("CMT occupancy %d != valid lines %d", occTotal, valid)
+	}
+	if occTotal > cfg.LLC.Size {
+		t.Errorf("occupancy %d exceeds capacity %d", occTotal, cfg.LLC.Size)
+	}
+}

@@ -1,0 +1,88 @@
+package cachesim
+
+import (
+	"testing"
+
+	"cachepart/internal/memory"
+)
+
+// TestCMTOccupancyTracksFills verifies the Cache Monitoring Technology
+// model: per-CLOS occupancy follows fills and evictions, and a
+// way-masked CLOS can never occupy more than its share.
+func TestCMTOccupancyTracksFills(t *testing.T) {
+	cfg := testConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := memory.NewSpace()
+
+	// Everything starts in CLOS 0.
+	small := space.Alloc("small", 8<<10)
+	for off := uint64(0); off < small.Size; off += memory.LineSize {
+		m.Access(0, small.Addr(off), false)
+	}
+	if got := m.LLCOccupancyOfCLOS(0); got != small.Size {
+		t.Errorf("CLOS 0 occupancy = %d, want %d", got, small.Size)
+	}
+	if got := m.LLCOccupancyOfCLOS(1); got != 0 {
+		t.Errorf("CLOS 1 occupancy = %d, want 0", got)
+	}
+
+	// Move core 1 into CLOS 1 with a 2-of-16-way mask and stream far
+	// more than the LLC: its occupancy saturates at its share.
+	if err := m.CAT().SetMask(1, 0x3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CAT().Associate(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	big := space.Alloc("big", cfg.LLC.Size*4)
+	for off := uint64(0); off < big.Size; off += memory.LineSize {
+		m.Access(1, big.Addr(off), false)
+	}
+	share := cfg.LLC.Size * 2 / uint64(cfg.LLC.Ways)
+	if got := m.LLCOccupancyOfCLOS(1); got > share {
+		t.Errorf("masked CLOS occupies %d bytes, share is %d", got, share)
+	}
+	if got := m.LLCOccupancyOfCLOS(1); got < share/2 {
+		t.Errorf("masked CLOS occupies %d bytes, suspiciously few", got)
+	}
+
+	// Total occupancy never exceeds the LLC.
+	var total uint64
+	for clos := 0; clos < cfg.NumCLOS; clos++ {
+		total += m.LLCOccupancyOfCLOS(clos)
+	}
+	if total > cfg.LLC.Size {
+		t.Errorf("total occupancy %d exceeds LLC %d", total, cfg.LLC.Size)
+	}
+
+	// Memory traffic accumulated for both classes.
+	if m.MemTrafficOfCLOS(0) == 0 || m.MemTrafficOfCLOS(1) == 0 {
+		t.Error("memory traffic not attributed")
+	}
+
+	// Flush zeroes occupancy but keeps cumulative traffic.
+	traffic := m.MemTrafficOfCLOS(1)
+	m.Flush()
+	if m.LLCOccupancyOfCLOS(0) != 0 || m.LLCOccupancyOfCLOS(1) != 0 {
+		t.Error("Flush left occupancy")
+	}
+	if m.MemTrafficOfCLOS(1) != traffic {
+		t.Error("Flush cleared cumulative traffic")
+	}
+	// Reset clears traffic too.
+	m.Reset()
+	if m.MemTrafficOfCLOS(1) != 0 {
+		t.Error("Reset left traffic")
+	}
+
+	// Out-of-range CLOS reads are zero, not panics.
+	if m.LLCOccupancyOfCLOS(-1) != 0 || m.LLCOccupancyOfCLOS(99) != 0 {
+		t.Error("out-of-range CLOS not zero")
+	}
+	if m.MemTrafficOfCLOS(-1) != 0 || m.MemTrafficOfCLOS(99) != 0 {
+		t.Error("out-of-range CLOS traffic not zero")
+	}
+}

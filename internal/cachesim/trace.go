@@ -1,0 +1,76 @@
+package cachesim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"cachepart/internal/memory"
+)
+
+// TraceEvent is one observed memory access, for debugging operators'
+// access patterns and validating cache behaviour offline.
+type TraceEvent struct {
+	Tick  int64
+	Core  int
+	Addr  memory.Addr
+	Write bool
+	Level Level
+}
+
+// Tracer receives every access the machine simulates. Tracing is a
+// debugging facility: it runs inline and can slow simulation
+// considerably.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// SetTracer installs (or removes, with nil) the machine's tracer.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// traceAccess reports one access to the installed tracer.
+func (m *Machine) traceAccess(core int, addr memory.Addr, write bool, level Level) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer.Trace(TraceEvent{
+		Tick:  m.now[core],
+		Core:  core,
+		Addr:  addr,
+		Write: write,
+		Level: level,
+	})
+}
+
+// CSVTracer writes one line per access in
+// `tick,core,addr,rw,level` form.
+type CSVTracer struct {
+	w   *bufio.Writer
+	n   int
+	max int
+}
+
+// NewCSVTracer builds a tracer writing to w; maxEvents caps the
+// output (0 = unlimited).
+func NewCSVTracer(w io.Writer, maxEvents int) *CSVTracer {
+	return &CSVTracer{w: bufio.NewWriter(w), max: maxEvents}
+}
+
+// Trace implements Tracer.
+func (t *CSVTracer) Trace(ev TraceEvent) {
+	if t.max > 0 && t.n >= t.max {
+		return
+	}
+	t.n++
+	rw := "r"
+	if ev.Write {
+		rw = "w"
+	}
+	fmt.Fprintf(t.w, "%d,%d,%d,%s,%s\n", ev.Tick, ev.Core, ev.Addr, rw, ev.Level)
+}
+
+// Events reports how many events were recorded.
+func (t *CSVTracer) Events() int { return t.n }
+
+// Flush drains buffered output.
+func (t *CSVTracer) Flush() error { return t.w.Flush() }

@@ -1,0 +1,61 @@
+package cachesim
+
+import (
+	"strings"
+	"testing"
+
+	"cachepart/internal/memory"
+)
+
+func TestCSVTracerRecordsAccesses(t *testing.T) {
+	m := newTestMachine(t, testConfig())
+	var sb strings.Builder
+	tr := NewCSVTracer(&sb, 0)
+	m.SetTracer(tr)
+
+	a := memory.Addr(memory.PageSize)
+	m.Access(0, a, false) // DRAM
+	m.Access(0, a, true)  // L1
+	m.Access(1, a, false) // LLC
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() != 3 {
+		t.Fatalf("events = %d", tr.Events())
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	for _, want := range []string{"r,DRAM", "w,L1", "r,LLC"} {
+		found := false
+		for _, l := range lines {
+			if strings.HasSuffix(l, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no trace line ending %q in %v", want, lines)
+		}
+	}
+
+	// Removing the tracer stops recording.
+	m.SetTracer(nil)
+	m.Access(0, a, false)
+	if tr.Events() != 3 {
+		t.Error("tracer still recording after removal")
+	}
+}
+
+func TestCSVTracerCap(t *testing.T) {
+	m := newTestMachine(t, testConfig())
+	var sb strings.Builder
+	tr := NewCSVTracer(&sb, 2)
+	m.SetTracer(tr)
+	for i := 0; i < 10; i++ {
+		m.Access(0, memory.Addr(memory.PageSize+i*memory.LineSize), false)
+	}
+	if tr.Events() != 2 {
+		t.Errorf("capped events = %d, want 2", tr.Events())
+	}
+}

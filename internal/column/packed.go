@@ -1,0 +1,127 @@
+package column
+
+import (
+	"fmt"
+
+	"cachepart/internal/memory"
+)
+
+// PackedVector stores n codes of a fixed bit width contiguously, the
+// compressed representation SAP HANA's column scan operates on directly
+// (Section II / [7], [8]). Codes may straddle 64-bit word boundaries.
+type PackedVector struct {
+	bits   uint
+	n      int
+	words  []uint64
+	region memory.Region
+}
+
+// NewPackedVector allocates a vector for n codes of the given width.
+func NewPackedVector(space *memory.Space, name string, n int, bits uint) (*PackedVector, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("column: negative length %d", n)
+	}
+	if bits == 0 || bits > 32 {
+		return nil, fmt.Errorf("column: code width %d out of range [1,32]", bits)
+	}
+	totalBits := uint64(n) * uint64(bits)
+	words := (totalBits + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	v := &PackedVector{
+		bits:  bits,
+		n:     n,
+		words: make([]uint64, words),
+	}
+	v.region = space.Alloc(name+".codes", words*8)
+	return v, nil
+}
+
+// Len reports the number of codes.
+func (v *PackedVector) Len() int { return v.n }
+
+// Bits reports the code width.
+func (v *PackedVector) Bits() uint { return v.bits }
+
+// Bytes reports the simulated (and real) storage size.
+func (v *PackedVector) Bytes() uint64 { return uint64(len(v.words)) * 8 }
+
+// Region exposes the simulated allocation.
+func (v *PackedVector) Region() memory.Region { return v.region }
+
+// Set stores a code at index i. Codes wider than the vector's width
+// are rejected as corruption.
+func (v *PackedVector) Set(i int, code uint32) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("column: index %d out of %d", i, v.n))
+	}
+	if v.bits < 32 && code >= 1<<v.bits {
+		panic(fmt.Sprintf("column: code %d exceeds %d bits", code, v.bits))
+	}
+	bitPos := uint64(i) * uint64(v.bits)
+	w, off := bitPos/64, bitPos%64
+	mask := uint64(1)<<v.bits - 1
+	if v.bits == 32 {
+		mask = 1<<32 - 1
+	}
+	v.words[w] = v.words[w]&^(mask<<off) | uint64(code)<<off
+	if off+uint64(v.bits) > 64 {
+		spill := off + uint64(v.bits) - 64
+		hiBits := uint64(code) >> (uint64(v.bits) - spill)
+		hiMask := uint64(1)<<spill - 1
+		v.words[w+1] = v.words[w+1]&^hiMask | hiBits
+	}
+}
+
+// Get loads the code at index i.
+func (v *PackedVector) Get(i int) uint32 {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("column: index %d out of %d", i, v.n))
+	}
+	bitPos := uint64(i) * uint64(v.bits)
+	w, off := bitPos/64, bitPos%64
+	mask := uint64(1)<<v.bits - 1
+	if v.bits == 32 {
+		mask = 1<<32 - 1
+	}
+	val := v.words[w] >> off
+	if off+uint64(v.bits) > 64 {
+		val |= v.words[w+1] << (64 - off)
+	}
+	return uint32(val & mask)
+}
+
+// Addr returns the byte address holding the first bit of code i, the
+// line a point access touches.
+func (v *PackedVector) Addr(i int) memory.Addr {
+	bitPos := uint64(i) * uint64(v.bits)
+	return v.region.Addr(bitPos / 8 / 8 * 8) // word-aligned byte offset
+}
+
+// LineOfRow reports which cache line (0-based within the region) holds
+// row i, so scans can detect line boundaries.
+func (v *PackedVector) LineOfRow(i int) uint64 {
+	bitPos := uint64(i) * uint64(v.bits)
+	return bitPos / 8 / memory.LineSize
+}
+
+// RowsPerLine reports how many codes fit in one cache line on average;
+// at 20 bits that is 25.6, matching the paper's SIMD scan density.
+func (v *PackedVector) RowsPerLine() float64 {
+	return float64(memory.LineSize*8) / float64(v.bits)
+}
+
+// CountInRange counts codes c with lo <= c < hi over rows [from, to),
+// the kernel of the compressed column scan. It is implemented on the
+// packed words directly (word-at-a-time in spirit, scalar in letter).
+func (v *PackedVector) CountInRange(from, to int, lo, hi uint32) int64 {
+	var cnt int64
+	for i := from; i < to; i++ {
+		c := v.Get(i)
+		if c >= lo && c < hi {
+			cnt++
+		}
+	}
+	return cnt
+}

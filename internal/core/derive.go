@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CurvePoint is one sample of a micro-benchmark sweep: the normalized
+// throughput of an operator when the instance is limited to the given
+// number of LLC ways (Section IV's figures).
+type CurvePoint struct {
+	Ways       int
+	Throughput float64 // normalized to the full-cache throughput
+}
+
+// WaysNeeded reports the smallest way count at which the operator
+// reaches within tolerance of its best throughput — the "how much
+// cache does this operator need" question of Section III.
+func WaysNeeded(points []CurvePoint, tolerance float64) (int, error) {
+	if len(points) == 0 {
+		return 0, fmt.Errorf("core: empty curve")
+	}
+	if tolerance < 0 || tolerance >= 1 {
+		return 0, fmt.Errorf("core: tolerance %v out of [0,1)", tolerance)
+	}
+	pts := make([]CurvePoint, len(points))
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Ways < pts[j].Ways })
+	best := pts[0].Throughput
+	for _, p := range pts {
+		if p.Throughput > best {
+			best = p.Throughput
+		}
+	}
+	for _, p := range pts {
+		if p.Throughput >= best*(1-tolerance) {
+			return p.Ways, nil
+		}
+	}
+	return pts[len(pts)-1].Ways, nil
+}
+
+// DeriveTolerance is the throughput slack used when deriving a scheme:
+// an operator "does not need" cache it can give up at a <5% cost.
+const DeriveTolerance = 0.05
+
+// ClassifyCurve derives a job's cache usage identifier from its
+// micro-benchmark curve, automating Section V-B: an operator content
+// with ~10% of the ways is polluting; one needing most of the cache is
+// sensitive; anything in between is data-dependent.
+func ClassifyCurve(points []CurvePoint, totalWays int) (CUID, error) {
+	if totalWays <= 0 {
+		return Sensitive, fmt.Errorf("core: total ways %d", totalWays)
+	}
+	need, err := WaysNeeded(points, DeriveTolerance)
+	if err != nil {
+		return Sensitive, err
+	}
+	pollutingWays := int(0.10*float64(totalWays) + 0.5)
+	if pollutingWays < 1 {
+		pollutingWays = 1
+	}
+	switch {
+	case need <= pollutingWays:
+		return Polluting, nil
+	case need >= totalWays*3/4:
+		return Sensitive, nil
+	default:
+		return Depends, nil
+	}
+}
+
+// DeriveScheme builds a policy whose polluting slice is the largest
+// fraction every polluting operator tolerates, given their curves.
+// It returns the default scheme when no curve demands otherwise.
+func DeriveScheme(llcBytes uint64, llcWays int, pollutingCurves [][]CurvePoint) (Policy, error) {
+	p := DefaultPolicy(llcBytes, llcWays)
+	need := 1
+	for _, curve := range pollutingCurves {
+		n, err := WaysNeeded(curve, DeriveTolerance)
+		if err != nil {
+			return p, err
+		}
+		if n > need {
+			need = n
+		}
+	}
+	// Never a single way (Section V-B note: "0x1" causes contention).
+	if need < 2 {
+		need = 2
+	}
+	p.PollutingFraction = float64(need) / float64(llcWays)
+	return p, nil
+}

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"cachepart/internal/core"
+	"cachepart/internal/exec"
+)
+
+// countKernel is a trivial kernel: it burns a small compute cost per
+// row and counts down.
+type countKernel struct {
+	remaining int
+	onRow     func()
+}
+
+func (k *countKernel) Step(ctx *exec.Ctx, budget int) (int, bool) {
+	n := budget
+	if n > k.remaining {
+		n = k.remaining
+	}
+	for i := 0; i < n; i++ {
+		ctx.Compute(10, 4)
+		if k.onRow != nil {
+			k.onRow()
+		}
+	}
+	k.remaining -= n
+	return n, k.remaining == 0
+}
+
+// countQuery plans a single-phase execution of rowsPerExec rows split
+// across the cores.
+type countQuery struct {
+	name        string
+	rowsPerExec int
+	cuid        core.CUID
+}
+
+func (q *countQuery) Name() string { return q.name }
+
+func (q *countQuery) Plan(cores int, rng *rand.Rand) ([]Phase, error) {
+	parts := PartitionRows(q.rowsPerExec, cores)
+	ks := make([]exec.Kernel, 0, len(parts))
+	for _, p := range parts {
+		ks = append(ks, &countKernel{remaining: p[1] - p[0]})
+	}
+	return []Phase{{
+		Name:      "count",
+		CUID:      q.cuid,
+		Kernels:   ks,
+		CountRows: true,
+	}}, nil
+}
+
+// twoPhaseQuery checks barrier semantics: phase B must never start
+// while phase A rows remain.
+type twoPhaseQuery struct {
+	rowsA, rowsB int
+
+	pendingA   atomic.Int64
+	outOfOrder bool
+}
+
+func (q *twoPhaseQuery) Name() string { return "two-phase" }
+
+func (q *twoPhaseQuery) Plan(cores int, rng *rand.Rand) ([]Phase, error) {
+	q.pendingA.Store(int64(q.rowsA))
+	partsA := PartitionRows(q.rowsA, cores)
+	ksA := make([]exec.Kernel, 0, len(partsA))
+	for _, p := range partsA {
+		ksA = append(ksA, &countKernel{
+			remaining: p[1] - p[0],
+			onRow:     func() { q.pendingA.Add(-1) },
+		})
+	}
+	ksB := []exec.Kernel{&countKernel{
+		remaining: q.rowsB,
+		onRow: func() {
+			if q.pendingA.Load() != 0 {
+				q.outOfOrder = true
+			}
+		},
+	}}
+	return []Phase{
+		{Name: "A", CUID: core.Sensitive, Kernels: ksA, CountRows: true},
+		{Name: "B", CUID: core.Sensitive, Kernels: ksB},
+	}, nil
+}

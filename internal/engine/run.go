@@ -1,0 +1,384 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cachepart/internal/cachesim"
+	"cachepart/internal/exec"
+	"cachepart/internal/memory"
+)
+
+// Prewarmer is an optional query interface: regions returned are
+// touched once before measurement starts (with the phase-0 masks
+// already applied), so short measurement windows observe the steady
+// state of long-running statements — dictionaries, hash tables and bit
+// vectors resident as they would be mid-execution.
+type Prewarmer interface {
+	PrewarmRegions(cores int) []memory.Region
+}
+
+// StreamSpec assigns a query to a set of worker cores. Concurrent
+// experiments run several streams on disjoint core sets sharing the
+// LLC and memory bandwidth, mirroring the paper's co-run setup.
+type StreamSpec struct {
+	Query Query
+	Cores []int
+}
+
+// RunOptions tunes an experiment run.
+type RunOptions struct {
+	// Duration is the simulated time budget in seconds (the paper runs
+	// each workload for 90 wall-clock seconds; simulated runs use
+	// shorter budgets at smaller data scales).
+	Duration float64
+	// WarmupFraction of the duration is excluded from measurement so
+	// caches reach steady state. Default 0.25.
+	WarmupFraction float64
+	// Seed drives per-execution query parameters. Streams derive
+	// distinct sub-seeds.
+	Seed int64
+	// Quantum caps the row budget per scheduling slice. Default 1024.
+	Quantum int
+	// TargetSliceTicks bounds the virtual time one scheduling slice
+	// may advance a core. Keeping slices time-uniform across kernels
+	// with very different per-row costs bounds the clock skew between
+	// cores, which the shared DRAM queue is sensitive to. Default 1024
+	// ticks (64 cycles).
+	TargetSliceTicks int64
+}
+
+func (o *RunOptions) setDefaults() {
+	if o.WarmupFraction <= 0 || o.WarmupFraction >= 1 {
+		o.WarmupFraction = 0.25
+	}
+	if o.Quantum <= 0 {
+		o.Quantum = 1024
+	}
+	if o.TargetSliceTicks <= 0 {
+		o.TargetSliceTicks = 1024
+	}
+}
+
+// StreamResult reports one stream's measured throughput and counters
+// over the post-warmup window.
+type StreamResult struct {
+	Name          string
+	Executions    int64
+	Rows          int64
+	WindowSeconds float64
+	// Throughput is counted rows per simulated second.
+	Throughput float64
+	// Stats is the delta of the stream's cores over the window.
+	Stats cachesim.CoreStats
+	// ExecTicks holds the end-to-end duration of every execution
+	// completed after warm-up, for response-time percentiles (the
+	// paper measures end-to-end response times, Section III-D).
+	ExecTicks []int64
+}
+
+// Percentile returns the p-quantile (0..1) of the recorded execution
+// durations in ticks, or 0 when none completed.
+func (r StreamResult) Percentile(p float64) int64 {
+	if len(r.ExecTicks) == 0 {
+		return 0
+	}
+	sorted := make([]int64, len(r.ExecTicks))
+	copy(sorted, r.ExecTicks)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// kernelSlot tracks one worker's kernel within the current phase.
+type kernelSlot struct {
+	kernel exec.Kernel
+	done   bool
+	// ticksPerRow is an EWMA of the kernel's cost used to budget
+	// time-uniform slices.
+	ticksPerRow float64
+}
+
+// budgetFor sizes a slice so it advances about target ticks.
+func (s *kernelSlot) budgetFor(target int64, maxRows int) int {
+	if s.ticksPerRow <= 0 {
+		return 16 // cautious first slice; cost learned from it
+	}
+	b := int(float64(target) / s.ticksPerRow)
+	if b < 1 {
+		return 1
+	}
+	if b > maxRows {
+		return maxRows
+	}
+	return b
+}
+
+// observe folds a finished slice into the cost estimate.
+func (s *kernelSlot) observe(rows int, ticks int64) {
+	if rows <= 0 {
+		return
+	}
+	sample := float64(ticks) / float64(rows)
+	if s.ticksPerRow <= 0 {
+		s.ticksPerRow = sample
+		return
+	}
+	s.ticksPerRow = 0.75*s.ticksPerRow + 0.25*sample
+}
+
+// stream is the runtime state of one StreamSpec.
+type stream struct {
+	spec     StreamSpec
+	rng      *rand.Rand
+	phases   []Phase
+	phaseIdx int
+	slots    []kernelSlot
+
+	execs       int64
+	rows        int64
+	execsAtWarm int64
+	rowsAtWarm  int64
+
+	execStart   int64 // tick the in-flight execution began
+	execTicks   []int64
+	ticksAtWarm int // executions recorded before warm-up
+}
+
+// Run executes the streams concurrently in virtual time until the
+// simulated duration elapses, returning per-stream results. The
+// machine is reset first so runs are independent and deterministic.
+func (e *Engine) Run(specs []StreamSpec, opts RunOptions) ([]StreamResult, error) {
+	opts.setDefaults()
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("engine: no streams")
+	}
+	if opts.Duration <= 0 {
+		return nil, fmt.Errorf("engine: duration %v must be positive", opts.Duration)
+	}
+	seen := make(map[int]bool)
+	for _, s := range specs {
+		if len(s.Cores) == 0 {
+			return nil, fmt.Errorf("engine: stream %q has no cores", s.Query.Name())
+		}
+		for _, c := range s.Cores {
+			if c < 0 || c >= e.m.Cores() {
+				return nil, fmt.Errorf("engine: core %d out of range", c)
+			}
+			if seen[c] {
+				return nil, fmt.Errorf("engine: core %d assigned twice", c)
+			}
+			seen[c] = true
+		}
+	}
+
+	e.m.Reset()
+
+	streams := make([]*stream, len(specs))
+	// bindings lists (core, stream, slot) in ascending core order so
+	// scheduling ties break deterministically.
+	type binding struct{ core, si, slot int }
+	var bindings []binding
+	for i, spec := range specs {
+		st := &stream{
+			spec: spec,
+			rng:  rand.New(rand.NewSource(opts.Seed + int64(i)*7919)),
+		}
+		if err := e.planExecution(st); err != nil {
+			return nil, err
+		}
+		streams[i] = st
+		for slot, c := range spec.Cores {
+			bindings = append(bindings, binding{core: c, si: i, slot: slot})
+		}
+	}
+	sort.Slice(bindings, func(i, j int) bool { return bindings[i].core < bindings[j].core })
+
+	ctxs := make([]*exec.Ctx, e.m.Cores())
+	for c := range ctxs {
+		ctxs[c] = e.Ctx(c)
+	}
+
+	// Prewarm declared working sets, then rewind the clocks so the
+	// measured window starts in steady state.
+	for _, st := range streams {
+		pw, ok := st.spec.Query.(Prewarmer)
+		if !ok {
+			continue
+		}
+		for _, region := range pw.PrewarmRegions(len(st.spec.Cores)) {
+			for i, off := 0, uint64(0); off < region.Size; i, off = i+1, off+memory.LineSize {
+				c := st.spec.Cores[i%len(st.spec.Cores)]
+				e.m.Access(c, region.Addr(off), false)
+			}
+		}
+	}
+	e.m.ZeroClocksAndStats()
+
+	durTicks := e.m.Ticks(opts.Duration)
+	warmTicks := e.m.Ticks(opts.Duration * opts.WarmupFraction)
+	warmed := false
+	var statsAtWarm []cachesim.CoreStats
+
+	for {
+		// Pick the globally least-advanced core with runnable work.
+		minIdx := -1
+		var minNow int64
+		for bi, b := range bindings {
+			st := streams[b.si]
+			if b.slot >= len(st.slots) || st.slots[b.slot].done || st.slots[b.slot].kernel == nil {
+				continue
+			}
+			if now := e.m.Now(b.core); minIdx < 0 || now < minNow {
+				minIdx, minNow = bi, now
+			}
+		}
+		if minIdx < 0 {
+			return nil, fmt.Errorf("engine: deadlock — no runnable kernels")
+		}
+		if !warmed && minNow >= warmTicks {
+			warmed = true
+			statsAtWarm = e.m.CoreStatsSnapshot()
+			for _, st := range streams {
+				st.rowsAtWarm = st.rows
+				st.execsAtWarm = st.execs
+				st.ticksAtWarm = len(st.execTicks)
+			}
+		}
+		if minNow >= durTicks {
+			break
+		}
+
+		b := bindings[minIdx]
+		st := streams[b.si]
+		slot := &st.slots[b.slot]
+		budget := slot.budgetFor(opts.TargetSliceTicks, opts.Quantum)
+		before := e.m.Now(b.core)
+		rows, done := slot.kernel.Step(ctxs[b.core], budget)
+		slot.observe(rows, e.m.Now(b.core)-before)
+		if st.phases[st.phaseIdx].CountRows {
+			st.rows += int64(rows)
+		}
+		if done {
+			slot.done = true
+			if st.phaseDone() {
+				if err := e.advancePhase(st); err != nil {
+					return nil, err
+				}
+			}
+		} else if rows == 0 {
+			return nil, fmt.Errorf("engine: kernel %q/%s made no progress",
+				st.spec.Query.Name(), st.phases[st.phaseIdx].Name)
+		}
+	}
+
+	if !warmed {
+		statsAtWarm = make([]cachesim.CoreStats, e.m.Cores())
+		warmTicks = 0
+	}
+
+	results := make([]StreamResult, len(streams))
+	window := e.m.Seconds(durTicks - warmTicks)
+	for i, st := range streams {
+		var delta cachesim.CoreStats
+		for _, c := range st.spec.Cores {
+			delta.Add(e.m.Stats(c).Sub(statsAtWarm[c]))
+		}
+		rows := st.rows - st.rowsAtWarm
+		results[i] = StreamResult{
+			Name:          st.spec.Query.Name(),
+			Executions:    st.execs - st.execsAtWarm,
+			Rows:          rows,
+			WindowSeconds: window,
+			Throughput:    float64(rows) / window,
+			Stats:         delta,
+			ExecTicks:     st.execTicks[st.ticksAtWarm:],
+		}
+	}
+	return results, nil
+}
+
+// phaseDone reports whether every kernel of the current phase
+// finished.
+func (st *stream) phaseDone() bool {
+	for i := range st.slots {
+		if st.slots[i].kernel != nil && !st.slots[i].done {
+			return false
+		}
+	}
+	return true
+}
+
+// planExecution asks the query for a fresh execution's phases and arms
+// phase 0.
+func (e *Engine) planExecution(st *stream) error {
+	// The new execution starts at the stream's synchronised clock.
+	for _, c := range st.spec.Cores {
+		if now := e.m.Now(c); now > st.execStart {
+			st.execStart = now
+		}
+	}
+	phases, err := st.spec.Query.Plan(len(st.spec.Cores), st.rng)
+	if err != nil {
+		return err
+	}
+	if len(phases) == 0 {
+		return fmt.Errorf("engine: query %q planned no phases", st.spec.Query.Name())
+	}
+	for _, ph := range phases {
+		if len(ph.Kernels) == 0 {
+			return fmt.Errorf("engine: phase %q of %q has no kernels", ph.Name, st.spec.Query.Name())
+		}
+		if len(ph.Kernels) > len(st.spec.Cores) {
+			return fmt.Errorf("engine: phase %q of %q has %d kernels for %d cores",
+				ph.Name, st.spec.Query.Name(), len(ph.Kernels), len(st.spec.Cores))
+		}
+	}
+	st.phases = phases
+	st.phaseIdx = 0
+	return e.armPhase(st)
+}
+
+// armPhase binds the current phase's kernels to the stream's cores and
+// applies the phase's CUID to each participating worker.
+func (e *Engine) armPhase(st *stream) error {
+	ph := st.phases[st.phaseIdx]
+	st.slots = make([]kernelSlot, len(st.spec.Cores))
+	for i := range ph.Kernels {
+		st.slots[i] = kernelSlot{kernel: ph.Kernels[i]}
+		if err := e.applyCUID(st.spec.Cores[i], ph.CUID, ph.Footprint); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// advancePhase synchronises the stream's cores at the phase barrier
+// and moves to the next phase, or plans the next execution when the
+// last phase completed.
+func (e *Engine) advancePhase(st *stream) error {
+	var t int64
+	for _, c := range st.spec.Cores {
+		if now := e.m.Now(c); now > t {
+			t = now
+		}
+	}
+	for _, c := range st.spec.Cores {
+		e.m.AdvanceTo(c, t)
+	}
+	st.phaseIdx++
+	if st.phaseIdx < len(st.phases) {
+		return e.armPhase(st)
+	}
+	st.execs++
+	st.execTicks = append(st.execTicks, t-st.execStart)
+	st.execStart = t
+	return e.planExecution(st)
+}

@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"cachepart/internal/cachesim"
+	"cachepart/internal/column"
+	"cachepart/internal/memory"
+)
+
+func benchCtx(b *testing.B) (*Ctx, *memory.Space) {
+	b.Helper()
+	cfg := cachesim.DefaultConfig().Scaled(16)
+	cfg.Cores = 2
+	m, err := cachesim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &Ctx{M: m, Core: 0}, memory.NewSpace()
+}
+
+func benchColumn(b *testing.B, space *memory.Space, name string, n int, distinct int64) *column.Column {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	dict, err := column.NewDenseDictionary(space, name, 1, distinct, column.DefaultEntrySize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	codes, err := column.NewPackedVector(space, name, n, dict.CodeBits())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		codes.Set(i, uint32(rng.Int63n(distinct)))
+	}
+	return &column.Column{Name: name, Dict: dict, Codes: codes}
+}
+
+// BenchmarkColumnScanKernel measures simulated scan speed in rows/op.
+func BenchmarkColumnScanKernel(b *testing.B) {
+	ctx, space := benchCtx(b)
+	col := benchColumn(b, space, "scan", 1<<20, 1<<20)
+	scan, _ := NewColumnScan(col, 0, col.Rows(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, done := scan.Step(ctx, 4096)
+		if done {
+			scan.Reset(scan.LoCode, scan.HiCode)
+		}
+		_ = rows
+	}
+}
+
+// BenchmarkAggLocalKernel measures the full per-row aggregation path:
+// two sequential column reads, one dictionary read, one table probe.
+func BenchmarkAggLocalKernel(b *testing.B) {
+	ctx, space := benchCtx(b)
+	groups := benchColumn(b, space, "g", 1<<18, 1<<12)
+	values := benchColumn(b, space, "v", 1<<18, 1<<18)
+	tab := NewAggTable(space, "t", 1<<12)
+	agg, _ := NewAggLocal(groups, values, 0, groups.Rows(), tab)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, done := agg.Step(ctx, 1024); done {
+			agg.Reset()
+		}
+	}
+}
+
+func BenchmarkAggTableUpdate(b *testing.B) {
+	ctx, space := benchCtx(b)
+	tab := NewAggTable(space, "t", 1<<14)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint32, 1<<14)
+	for i := range keys {
+		keys[i] = rng.Uint32() & (1<<14 - 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.UpdateMax(ctx, keys[i&(1<<14-1)], int64(i))
+	}
+}
+
+func BenchmarkJoinProbeKernel(b *testing.B) {
+	ctx, space := benchCtx(b)
+	fk := benchColumn(b, space, "fk", 1<<20, 1<<22)
+	bv, _ := NewBitVector(space, "bv", 1, 1<<22)
+	bv.SetAll()
+	probe, _ := NewJoinProbe(fk, 0, fk.Rows(), bv)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, done := probe.Step(ctx, 4096); done {
+			probe.Reset()
+		}
+	}
+}

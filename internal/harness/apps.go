@@ -1,0 +1,265 @@
+package harness
+
+import (
+	"fmt"
+
+	"cachepart/internal/engine"
+	"cachepart/internal/workload/s4"
+	"cachepart/internal/workload/tpch"
+)
+
+// Fig11 reproduces Figure 11: each TPC-H query co-running with the
+// polluting column scan (Query 1), with partitioning off and on (scan
+// restricted to 10%, TPC-H query at 100%). Expected shape: queries 1,
+// 7, 8, 9 gain the most; most others change little; nothing regresses.
+func Fig11(p Params) ([]PairRow, error) {
+	return fig11Queries(p, nil)
+}
+
+// Fig11Query runs a single TPC-H query number of Figure 11.
+func Fig11Query(p Params, number int) (PairRow, error) {
+	rows, err := fig11Queries(p, []int{number})
+	if err != nil {
+		return PairRow{}, err
+	}
+	return rows[0], nil
+}
+
+func fig11Queries(p Params, numbers []int) ([]PairRow, error) {
+	sys, err := NewSystem(p)
+	if err != nil {
+		return nil, err
+	}
+	q1, err := NewQ1(sys)
+	if err != nil {
+		return nil, err
+	}
+	db, err := tpch.Load(sys.Space, sys.Rng, tpch.Spec{
+		Scale:        p.Scale,
+		LineitemRows: p.RowsAgg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if numbers == nil {
+		for n := 1; n <= len(tpch.Specs); n++ {
+			numbers = append(numbers, n)
+		}
+	}
+	var rows []PairRow
+	for _, n := range numbers {
+		q, err := tpch.NewQuery(db, sys.Space, n)
+		if err != nil {
+			return nil, err
+		}
+		row, err := sys.runPairArms(q.Name(), q1, q,
+			[]struct {
+				name  string
+				apply func() error
+			}{
+				{"shared", func() error { return sys.SetPartitioning(false) }},
+				{"partitioned", func() error { return sys.SetPartitioning(true) }},
+			})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// loadS4 builds the ACDOCA model sized from the aggregation sampling
+// parameter. The row count is kept high enough that the inverted
+// index exceeds the scaled LLC: as with the paper's 151-million-row
+// table, index probes are uncacheable and only the dictionaries are a
+// protectable working set.
+func loadS4(sys *System) (*s4.Table, error) {
+	rows := sys.Params.RowsAgg
+	if minRows := int(sys.LLCBytes()); rows*4 < 2*minRows {
+		rows = minRows / 2 // index = 4 B/row ⇒ index ≈ 2× LLC
+	}
+	return s4.Load(sys.Space, sys.Rng, s4.Spec{
+		Rows:  rows,
+		Scale: sys.Params.Scale,
+	})
+}
+
+// oltpCoreSplit gives the OLAP scan most of the machine and reserves a
+// small dedicated pool for the OLTP query, mirroring the engine's
+// dedicated OLTP thread pool (Section V-C).
+func (s *System) oltpCoreSplit() (olap, oltp []int) {
+	n := s.Machine.Cores()
+	reserve := 2
+	if n <= 4 {
+		reserve = 1
+	}
+	all := s.AllCores()
+	return all[:n-reserve], all[n-reserve:]
+}
+
+// Fig12 reproduces Figure 12: Query 1 (column scan) concurrent with
+// the S/4HANA OLTP query, projecting the 13 biggest-dictionary columns
+// (a) or 6 smaller ones (b). With partitioning the scan is restricted
+// to 10% of the LLC.
+func Fig12(p Params) ([]PairRow, error) {
+	sys, err := NewSystem(p)
+	if err != nil {
+		return nil, err
+	}
+	table, err := loadS4(sys)
+	if err != nil {
+		return nil, err
+	}
+	q1, err := NewQ1(sys)
+	if err != nil {
+		return nil, err
+	}
+	var rows []PairRow
+	projections := []struct {
+		label   string
+		columns int
+		big     bool
+	}{
+		{"13 big-dictionary columns", 13, true},
+		{"6 smaller-dictionary columns", 6, false},
+	}
+	for _, sel := range projections {
+		project := table.Small
+		if sel.big {
+			project = table.Big
+		}
+		project = project[:sel.columns]
+		oltp, err := s4.NewOLTPQuery(table, project)
+		if err != nil {
+			return nil, err
+		}
+		row, err := sys.runOLTPArms(sel.label, q1, oltp)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runOLTPArms is runPairArms with the dedicated OLTP core split.
+func (s *System) runOLTPArms(label string, olap, oltp engine.Query) (PairRow, error) {
+	ca, cb := s.oltpCoreSplit()
+	if err := s.SetPartitioning(false); err != nil {
+		return PairRow{}, err
+	}
+	isoA, err := s.RunIsolated(olap, ca)
+	if err != nil {
+		return PairRow{}, err
+	}
+	isoB, err := s.RunIsolated(oltp, cb)
+	if err != nil {
+		return PairRow{}, err
+	}
+	row := PairRow{
+		Label: label,
+		NameA: olap.Name(), NameB: oltp.Name(),
+		IsoA: isoA, IsoB: isoB,
+	}
+	for _, arm := range []struct {
+		name    string
+		enabled bool
+	}{
+		{"shared", false},
+		{"partitioned", true},
+	} {
+		if err := s.SetPartitioning(arm.enabled); err != nil {
+			return PairRow{}, err
+		}
+		ma, mb, err := s.RunPair(olap, ca, oltp, cb)
+		if err != nil {
+			return PairRow{}, err
+		}
+		row.Arms = append(row.Arms, PairArm{
+			Name:  arm.name,
+			A:     ma,
+			B:     mb,
+			NormA: ratio(ma.Throughput, isoA.Throughput),
+			NormB: ratio(mb.Throughput, isoB.Throughput),
+		})
+	}
+	return row, s.SetPartitioning(false)
+}
+
+// Fig1 reproduces the teaser figure: the OLTP query's throughput
+// isolated, concurrent to the OLAP scan, and concurrent with
+// partitioning applied. It is the 13-column configuration of
+// Figure 12 re-expressed.
+type Fig1Result struct {
+	Isolated    float64 // always 1.0 (baseline)
+	Concurrent  float64
+	Partitioned float64
+}
+
+// Fig1 runs the teaser experiment.
+func Fig1(p Params) (Fig1Result, error) {
+	sys, err := NewSystem(p)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	table, err := loadS4(sys)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	q1, err := NewQ1(sys)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	oltp, err := s4.NewOLTPQuery(table, table.Big)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	row, err := sys.runOLTPArms("teaser", q1, oltp)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	shared, ok := row.Arm("shared")
+	if !ok {
+		return Fig1Result{}, fmt.Errorf("harness: missing shared arm")
+	}
+	part, ok := row.Arm("partitioned")
+	if !ok {
+		return Fig1Result{}, fmt.Errorf("harness: missing partitioned arm")
+	}
+	return Fig1Result{
+		Isolated:    1.0,
+		Concurrent:  shared.NormB,
+		Partitioned: part.NormB,
+	}, nil
+}
+
+// FigProjSweep reproduces the additional experiment of Section VI-E:
+// the OLTP query's partitioning benefit as the number of projected
+// (big-dictionary) columns grows from 2 to 13.
+func FigProjSweep(p Params) ([]PairRow, error) {
+	sys, err := NewSystem(p)
+	if err != nil {
+		return nil, err
+	}
+	table, err := loadS4(sys)
+	if err != nil {
+		return nil, err
+	}
+	q1, err := NewQ1(sys)
+	if err != nil {
+		return nil, err
+	}
+	var rows []PairRow
+	for _, k := range []int{2, 4, 6, 8, 10, 13} {
+		oltp, err := s4.NewOLTPQuery(table, table.Big[:k])
+		if err != nil {
+			return nil, err
+		}
+		row, err := sys.runOLTPArms(fmt.Sprintf("%d columns", k), q1, oltp)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"cachepart/internal/core"
+	"cachepart/internal/engine"
+)
+
+// CoScheduleRow compares schedules for a four-query workload of two
+// scans and two aggregations (the Section VIII idea): a naive mixed
+// schedule co-runs a scan with an aggregation in each round; the
+// cache-aware schedule co-runs the two scans together and the two
+// aggregations together. Each entry is the workload's mean normalized
+// throughput (each query's co-run throughput over its isolated
+// throughput on the same cores, averaged).
+type CoScheduleRow struct {
+	Mixed            float64
+	MixedPartitioned float64
+	Aware            float64
+	AwarePartitioned float64
+}
+
+// FigCoSchedule runs the scheduling comparison.
+func FigCoSchedule(p Params) (CoScheduleRow, error) {
+	sys, err := NewSystem(p)
+	if err != nil {
+		return CoScheduleRow{}, err
+	}
+	scan1, err := NewQ1(sys)
+	if err != nil {
+		return CoScheduleRow{}, err
+	}
+	scan2, err := NewQ1(sys)
+	if err != nil {
+		return CoScheduleRow{}, err
+	}
+	agg1, err := NewQ2(sys, 10_000_000, 10_000)
+	if err != nil {
+		return CoScheduleRow{}, err
+	}
+	agg2, err := NewQ2(sys, 10_000_000, 100_000)
+	if err != nil {
+		return CoScheduleRow{}, err
+	}
+	queries := []engine.Query{scan1, agg1, scan2, agg2}
+
+	// Isolated baselines on half the machine (the co-run core count).
+	half, _ := sys.SplitCores()
+	baselines := make(map[engine.Query]float64, len(queries))
+	for _, q := range queries {
+		m, err := sys.RunIsolated(q, half)
+		if err != nil {
+			return CoScheduleRow{}, err
+		}
+		baselines[q] = m.Throughput
+	}
+
+	profiles := make([]core.CUID, len(queries))
+	rng := rand.New(rand.NewSource(p.Seed))
+	for i, q := range queries {
+		c, err := engine.ProfileOf(q, len(half), rng)
+		if err != nil {
+			return CoScheduleRow{}, err
+		}
+		profiles[i] = c
+	}
+
+	run := func(cacheAware, partitioned bool) (float64, error) {
+		if err := sys.SetPartitioning(partitioned); err != nil {
+			return 0, err
+		}
+		rounds := engine.PlanRounds(queries, profiles, 2, cacheAware)
+		results, err := sys.Engine.RunRounds(rounds, sys.runOptions())
+		if err != nil {
+			return 0, err
+		}
+		var sum float64
+		var n int
+		for ri, r := range rounds {
+			for qi, q := range r {
+				sum += ratio(results[ri][qi].Throughput, baselines[q])
+				n++
+			}
+		}
+		return sum / float64(n), nil
+	}
+
+	var row CoScheduleRow
+	if row.Mixed, err = run(false, false); err != nil {
+		return row, err
+	}
+	if row.MixedPartitioned, err = run(false, true); err != nil {
+		return row, err
+	}
+	if row.Aware, err = run(true, false); err != nil {
+		return row, err
+	}
+	if row.AwarePartitioned, err = run(true, true); err != nil {
+		return row, err
+	}
+	return row, sys.SetPartitioning(false)
+}
+
+// PrintCoSchedule renders the comparison.
+func PrintCoSchedule(w io.Writer, r CoScheduleRow) {
+	fmt.Fprintln(w, "Section VIII sketch — schedules for 2 scans + 2 aggregations")
+	fmt.Fprintln(w, "(mean normalized throughput across the four queries):")
+	fmt.Fprintf(w, "  mixed rounds (scan ∥ agg):                %.3f\n", r.Mixed)
+	fmt.Fprintf(w, "  mixed rounds + cache partitioning:        %.3f\n", r.MixedPartitioned)
+	fmt.Fprintf(w, "  cache-aware rounds (scan ∥ scan):         %.3f\n", r.Aware)
+	fmt.Fprintf(w, "  cache-aware rounds + cache partitioning:  %.3f\n", r.AwarePartitioned)
+	fmt.Fprintln(w)
+}

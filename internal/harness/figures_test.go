@@ -1,0 +1,154 @@
+package harness
+
+import "testing"
+
+// figureParams trims every sweep to a single representative value so
+// the full set of figure functions runs in seconds.
+func figureParams() Params {
+	p := tinyParams()
+	p.Ways = []int{2, 20}
+	p.DictSweep = []int64{10_000_000}
+	p.GroupSweep = []int64{10_000}
+	p.KeySweep = []int64{100_000_000}
+	return p
+}
+
+func TestFig5Function(t *testing.T) {
+	sets, err := Fig5(figureParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 || len(sets[0].Series) != 1 {
+		t.Fatalf("panel shape = %+v", sets)
+	}
+	pts := sets[0].Series[0].Points
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Norm >= pts[1].Norm {
+		t.Errorf("40 MiB-dict aggregation not cache-sensitive: %.3f vs %.3f", pts[0].Norm, pts[1].Norm)
+	}
+	if sets[0].Label != "40 MiB dictionary" {
+		t.Errorf("panel label = %q", sets[0].Label)
+	}
+}
+
+func TestFig6Function(t *testing.T) {
+	series, err := Fig6(figureParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || series[0].Label != "P=1e8" {
+		t.Fatalf("series = %+v", series)
+	}
+	pts := series[0].Points
+	if pts[0].Norm >= pts[1].Norm {
+		t.Errorf("1e8-key join not sensitive: %.3f vs %.3f", pts[0].Norm, pts[1].Norm)
+	}
+}
+
+func TestFig9Function(t *testing.T) {
+	panels, err := Fig9(figureParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 1 || len(panels[0].Rows) != 1 {
+		t.Fatalf("panels = %+v", panels)
+	}
+	row := panels[0].Rows[0]
+	shared, ok1 := row.Arm("shared")
+	part, ok2 := row.Arm("partitioned")
+	if !ok1 || !ok2 {
+		t.Fatalf("arms = %+v", row.Arms)
+	}
+	if part.NormB <= shared.NormB {
+		t.Errorf("Fig9 partitioning did not help: %.3f -> %.3f", shared.NormB, part.NormB)
+	}
+}
+
+func TestFig10Function(t *testing.T) {
+	rows, err := Fig10(figureParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	j10, ok1 := rows[0].Arm("join10")
+	j60, ok2 := rows[0].Arm("join60")
+	if !ok1 || !ok2 {
+		t.Fatalf("arms = %+v", rows[0].Arms)
+	}
+	if j60.NormB < j10.NormB {
+		t.Errorf("join60 (%.3f) should protect the 1e8-key join better than join10 (%.3f)",
+			j60.NormB, j10.NormB)
+	}
+}
+
+func TestFig11QueryFunction(t *testing.T) {
+	p := figureParams()
+	p.RowsAgg = 1 << 17
+	row, err := Fig11Query(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, _ := row.Arm("shared")
+	part, _ := row.Arm("partitioned")
+	// TPC-H Q1 is the paper's headline winner.
+	if part.NormB <= shared.NormB {
+		t.Errorf("TPC-H Q1 gained nothing: %.3f -> %.3f", shared.NormB, part.NormB)
+	}
+	if _, err := Fig11Query(p, 99); err == nil {
+		t.Error("query 99 accepted")
+	}
+}
+
+func TestFig12Function(t *testing.T) {
+	p := figureParams()
+	rows, err := Fig12(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		shared, _ := r.Arm("shared")
+		part, _ := r.Arm("partitioned")
+		if part.NormB <= shared.NormB {
+			t.Errorf("%s: OLTP gained nothing: %.3f -> %.3f", r.Label, shared.NormB, part.NormB)
+		}
+	}
+}
+
+func TestFigProjSweepFunction(t *testing.T) {
+	p := figureParams()
+	rows, err := FigProjSweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want the 2..13 column sweep", len(rows))
+	}
+	// The widening-projection trend (Section VI-E) needs scale >= 1/8
+	// to discriminate (see EXPERIMENTS.md); at test scale assert the
+	// scale-independent claim: partitioning never regresses the OLTP
+	// query.
+	for _, r := range rows {
+		shared, _ := r.Arm("shared")
+		part, _ := r.Arm("partitioned")
+		if part.NormB < shared.NormB*0.95 {
+			t.Errorf("%s: partitioning regressed OLTP %.3f -> %.3f", r.Label, shared.NormB, part.NormB)
+		}
+	}
+}
+
+func TestFig1Function(t *testing.T) {
+	r, err := Fig1(figureParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Partitioned < r.Concurrent {
+		t.Errorf("teaser: partitioning regressed %.3f -> %.3f", r.Concurrent, r.Partitioned)
+	}
+}

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// PrintWayPoints renders an LLC-size sweep (Figure 4 style).
+func PrintWayPoints(w io.Writer, title string, pts []WayPoint) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ways\tLLC(paper MiB)\tnorm.throughput\tLLC hit ratio\tmisses/instr\tDRAM GB/s")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%d\t%.2f\t%.3f\t%.3f\t%.2e\t%.1f\n",
+			p.Ways, p.LLCMiB, p.Norm, p.Measure.HitRatio, p.Measure.MPI, p.Measure.Bandwidth/1e9)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// PrintGroupSeries renders a family of sweeps (Figure 6 style).
+func PrintGroupSeries(w io.Writer, title string, series []GroupSeries) {
+	fmt.Fprintf(w, "%s\n", title)
+	if len(series) == 0 {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{"LLC(paper MiB)"}
+	for _, s := range series {
+		header = append(header, s.Label)
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for i := range series[0].Points {
+		row := []string{fmt.Sprintf("%.2f", series[0].Points[i].LLCMiB)}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.3f", s.Points[i].Norm))
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// PrintCurveSets renders panelled sweeps (Figure 5 style).
+func PrintCurveSets(w io.Writer, title string, sets []CurveSet) {
+	fmt.Fprintf(w, "%s\n\n", title)
+	for _, set := range sets {
+		PrintGroupSeries(w, "  "+set.Label, set.Series)
+	}
+}
+
+// PrintPairRows renders co-run results (Figures 9-12 style): per row,
+// each query's normalized throughput under every arm.
+func PrintPairRows(w io.Writer, title string, rows []PairRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	if len(rows) == 0 {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{"workload"}
+	for _, arm := range rows[0].Arms {
+		header = append(header,
+			fmt.Sprintf("A:%s", arm.Name),
+			fmt.Sprintf("B:%s", arm.Name))
+	}
+	header = append(header, "A hit sh/part", "B hit sh/part")
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, r := range rows {
+		row := []string{fmt.Sprintf("%s [A=%s B=%s]", r.Label, r.NameA, r.NameB)}
+		for _, arm := range r.Arms {
+			row = append(row,
+				fmt.Sprintf("%.3f", arm.NormA),
+				fmt.Sprintf("%.3f", arm.NormB))
+		}
+		row = append(row, hitPair(r, "A"), hitPair(r, "B"))
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+func hitPair(r PairRow, side string) string {
+	sh, ok1 := r.Arm("shared")
+	pt, ok2 := r.Arm("partitioned")
+	if !ok2 {
+		pt, ok2 = r.Arm("join60")
+	}
+	if !ok1 || !ok2 {
+		return "-"
+	}
+	if side == "A" {
+		return fmt.Sprintf("%.2f/%.2f", sh.A.HitRatio, pt.A.HitRatio)
+	}
+	return fmt.Sprintf("%.2f/%.2f", sh.B.HitRatio, pt.B.HitRatio)
+}
+
+// PrintFig1 renders the teaser figure.
+func PrintFig1(w io.Writer, r Fig1Result) {
+	fmt.Fprintln(w, "Figure 1 — OLTP query throughput (normalized to isolated):")
+	bars := []struct {
+		label string
+		v     float64
+	}{
+		{"isolated", r.Isolated},
+		{"concurrent to OLAP", r.Concurrent},
+		{"concurrent, cache partitioned", r.Partitioned},
+	}
+	for _, b := range bars {
+		n := int(b.v*40 + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "  %-30s %-40s %.2f\n", b.label, strings.Repeat("#", n), b.v)
+	}
+	fmt.Fprintln(w)
+}

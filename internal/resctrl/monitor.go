@@ -1,0 +1,47 @@
+package resctrl
+
+import "fmt"
+
+// Monitor is the hardware side of resctrl monitoring: per-CLOS cache
+// occupancy and memory traffic, as provided by Intel's Cache
+// Monitoring Technology and Memory Bandwidth Monitoring. The
+// simulator's Machine implements it.
+type Monitor interface {
+	LLCOccupancyOfCLOS(clos int) uint64
+	MemTrafficOfCLOS(clos int) uint64
+}
+
+// MonData mirrors a monitoring group's mon_data directory.
+type MonData struct {
+	// LLCOccupancyBytes is the llc_occupancy file: bytes of LLC
+	// currently attributed to the group.
+	LLCOccupancyBytes uint64
+	// MemTotalBytes is the mbm_total_bytes file: cumulative DRAM
+	// traffic attributed to the group.
+	MemTotalBytes uint64
+}
+
+// AttachMonitor connects the filesystem to the hardware counters.
+func (fs *FS) AttachMonitor(mon Monitor) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.monitor = mon
+}
+
+// ReadMonData reads a control group's monitoring data. It fails when
+// no monitor is attached (monitoring not supported by the "hardware").
+func (fs *FS) ReadMonData(groupName string) (MonData, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.monitor == nil {
+		return MonData{}, fmt.Errorf("resctrl: monitoring not available")
+	}
+	g, ok := fs.groups[groupName]
+	if !ok {
+		return MonData{}, fmt.Errorf("resctrl: no group %q", groupName)
+	}
+	return MonData{
+		LLCOccupancyBytes: fs.monitor.LLCOccupancyOfCLOS(g.clos),
+		MemTotalBytes:     fs.monitor.MemTrafficOfCLOS(g.clos),
+	}, nil
+}

@@ -1,0 +1,47 @@
+package resctrl
+
+import (
+	"testing"
+
+	"cachepart/internal/cat"
+)
+
+// fakeMonitor returns deterministic counters per CLOS.
+type fakeMonitor struct{}
+
+func (fakeMonitor) LLCOccupancyOfCLOS(clos int) uint64 { return uint64(clos+1) * 1000 }
+func (fakeMonitor) MemTrafficOfCLOS(clos int) uint64   { return uint64(clos+1) * 64 }
+
+func TestReadMonData(t *testing.T) {
+	regs, err := cat.NewRegisters(4, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Mount(regs)
+	if _, err := fs.ReadMonData(RootGroup); err == nil {
+		t.Error("monitoring without a backend should fail")
+	}
+	fs.AttachMonitor(fakeMonitor{})
+
+	root, err := fs.ReadMonData(RootGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.LLCOccupancyBytes != 1000 || root.MemTotalBytes != 64 {
+		t.Errorf("root mon data = %+v", root)
+	}
+	if err := fs.MakeGroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs.ReadMonData("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group "g" occupies CLOS 1.
+	if g.LLCOccupancyBytes != 2000 {
+		t.Errorf("group mon data = %+v", g)
+	}
+	if _, err := fs.ReadMonData("missing"); err == nil {
+		t.Error("unknown group accepted")
+	}
+}

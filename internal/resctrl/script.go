@@ -1,0 +1,51 @@
+package resctrl
+
+import (
+	"fmt"
+	"strings"
+
+	"cachepart/internal/cat"
+	"cachepart/internal/core"
+)
+
+// Script renders the shell commands that apply a partitioning policy
+// on a real Linux machine through /sys/fs/resctrl — the bridge from
+// the simulated integration to the paper's actual deployment. The
+// engine would then move job-worker TIDs between the groups exactly as
+// the simulated resctrl does.
+func Script(p core.Policy) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("#!/bin/sh\n")
+	sb.WriteString("# Cache-partitioning groups per Noll et al., ICDE 2018.\n")
+	sb.WriteString("# Requires CAT hardware and kernel >= 4.10.\n")
+	sb.WriteString("set -e\n")
+	sb.WriteString("mount -t resctrl resctrl /sys/fs/resctrl 2>/dev/null || true\n\n")
+
+	type group struct {
+		name string
+		mask cat.WayMask
+		why  string
+	}
+	groups := []group{
+		{"polluting", p.MaskFor(core.Polluting, core.Footprint{}),
+			"scan-like jobs: no data reuse, restrict to avoid pollution"},
+		{"join-small-bv", p.MaskFor(core.Depends, core.Footprint{BitVectorBytes: 1}),
+			"joins whose bit vector is far from the LLC size"},
+		{"join-large-bv", p.MaskFor(core.Depends,
+			core.Footprint{BitVectorBytes: p.LLCBytes / 2}),
+			"joins whose bit vector is comparable to the LLC"},
+	}
+	for _, g := range groups {
+		fmt.Fprintf(&sb, "# %s\n", g.why)
+		fmt.Fprintf(&sb, "mkdir -p /sys/fs/resctrl/%s\n", g.name)
+		fmt.Fprintf(&sb, "echo '%s' > /sys/fs/resctrl/%s/schemata\n\n",
+			FormatSchemata(g.mask), g.name)
+	}
+	sb.WriteString("# Sensitive jobs stay in the root group (full mask).\n")
+	sb.WriteString("# Move a worker thread into a group with, e.g.:\n")
+	sb.WriteString("#   echo <tid> > /sys/fs/resctrl/polluting/tasks\n")
+	return sb.String(), nil
+}

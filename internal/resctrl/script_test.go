@@ -1,0 +1,36 @@
+package resctrl
+
+import (
+	"strings"
+	"testing"
+
+	"cachepart/internal/core"
+)
+
+func TestScriptRendersPaperScheme(t *testing.T) {
+	p := core.DefaultPolicy(55<<20, 20)
+	p.Enabled = true
+	s, err := Script(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mount -t resctrl",
+		"mkdir -p /sys/fs/resctrl/polluting",
+		"echo 'L3:0=3' > /sys/fs/resctrl/polluting/schemata",
+		"echo 'L3:0=3' > /sys/fs/resctrl/join-small-bv/schemata",
+		"echo 'L3:0=fff' > /sys/fs/resctrl/join-large-bv/schemata",
+		"tasks",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("script missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestScriptRejectsInvalidPolicy(t *testing.T) {
+	var p core.Policy
+	if _, err := Script(p); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}

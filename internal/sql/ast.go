@@ -1,0 +1,112 @@
+package sql
+
+import "fmt"
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColumnDef is one column of a CREATE COLUMN TABLE statement. Only
+// INT columns exist in the paper's schemata (Figure 3).
+type ColumnDef struct {
+	Name       string
+	PrimaryKey bool
+}
+
+// CreateTable is `CREATE COLUMN TABLE name ( col INT [, ...]
+// [, PRIMARY KEY(col)] )`.
+type CreateTable struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+func (*CreateTable) stmt() {}
+
+// Insert is `INSERT INTO name VALUES (v, ...), (v, ...) ...`, for
+// small test data; bulk loads use the catalog API.
+type Insert struct {
+	Table string
+	Rows  [][]int64
+}
+
+func (*Insert) stmt() {}
+
+// AggFunc identifies an aggregate in the select list.
+type AggFunc int
+
+// Supported aggregates.
+const (
+	AggNone AggFunc = iota // plain column reference (must be grouped)
+	AggCountStar
+	AggMax
+	AggMin
+	AggSum
+)
+
+// String names the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCountStar:
+		return "COUNT(*)"
+	case AggMax:
+		return "MAX"
+	case AggMin:
+		return "MIN"
+	case AggSum:
+		return "SUM"
+	default:
+		return "column"
+	}
+}
+
+// SelectItem is one output expression.
+type SelectItem struct {
+	Func   AggFunc
+	Column ColRef // empty for COUNT(*)
+}
+
+// ColRef names a column, optionally table-qualified (R.P).
+type ColRef struct {
+	Table  string // may be empty
+	Column string
+}
+
+// String renders the reference.
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// CompareOp is a comparison operator.
+type CompareOp string
+
+// Predicate is one conjunct of the WHERE clause: either a column
+// compared to a literal/parameter, or a column equality join.
+type Predicate struct {
+	Left ColRef
+	Op   CompareOp
+	// Exactly one of the following is set.
+	Right   *ColRef // join predicate
+	Literal *int64
+	IsParam bool // the "?" of Query 1
+}
+
+// IsJoin reports a column-to-column equality.
+func (p Predicate) IsJoin() bool { return p.Right != nil }
+
+// Select is the accepted SELECT form: aggregates over one or two
+// tables with conjunctive predicates and an optional GROUP BY.
+type Select struct {
+	Items   []SelectItem
+	From    []string
+	Where   []Predicate
+	GroupBy []ColRef
+}
+
+func (*Select) stmt() {}
+
+// errAt builds a position-annotated parse error.
+func errAt(t token, format string, args ...any) error {
+	return fmt.Errorf("sql: offset %d: %s", t.pos, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,34 @@
+package sql
+
+import (
+	"math/rand"
+	"testing"
+
+	"cachepart/internal/memory"
+)
+
+func BenchmarkParseSelect(b *testing.B) {
+	const q = "SELECT MAX(B.V), B.G FROM B WHERE B.V > 100 GROUP BY B.G;"
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanScan(b *testing.B) {
+	cat := NewCatalog(memory.NewSpace())
+	if err := cat.Exec("CREATE COLUMN TABLE A (X INT)"); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := cat.BulkUniform(rng, "A", 10_000, map[string][2]int64{"X": {1, 1000}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanQuery(cat, "SELECT COUNT(*) FROM A WHERE X > 500"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

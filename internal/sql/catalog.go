@@ -1,0 +1,215 @@
+package sql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cachepart/internal/column"
+	"cachepart/internal/memory"
+	"cachepart/internal/workload"
+)
+
+// Catalog owns the tables created through DDL and their storage.
+// Names are case-insensitive, as in SQL.
+type Catalog struct {
+	space  *memory.Space
+	tables map[string]*TableMeta
+}
+
+// TableMeta is one catalogued table: definition, staged rows (from
+// INSERT) and the built columnar storage.
+type TableMeta struct {
+	Def        *CreateTable
+	PrimaryKey string // column name, empty if none
+
+	staged [][]int64
+	built  *column.Table
+}
+
+// NewCatalog creates an empty catalog over a simulated address space.
+func NewCatalog(space *memory.Space) *Catalog {
+	return &Catalog{space: space, tables: make(map[string]*TableMeta)}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// Exec executes a DDL or INSERT statement given as SQL text.
+func (c *Catalog) Exec(src string) error {
+	stmt, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	switch s := stmt.(type) {
+	case *CreateTable:
+		return c.Create(s)
+	case *Insert:
+		return c.Insert(s)
+	default:
+		return fmt.Errorf("sql: Exec expects DDL or INSERT; use Plan for queries")
+	}
+}
+
+// Create registers a table.
+func (c *Catalog) Create(ct *CreateTable) error {
+	if _, ok := c.tables[key(ct.Name)]; ok {
+		return fmt.Errorf("sql: table %q exists", ct.Name)
+	}
+	meta := &TableMeta{Def: ct}
+	for _, col := range ct.Columns {
+		if col.PrimaryKey {
+			if meta.PrimaryKey != "" {
+				return fmt.Errorf("sql: table %q has multiple primary keys", ct.Name)
+			}
+			meta.PrimaryKey = col.Name
+		}
+	}
+	c.tables[key(ct.Name)] = meta
+	return nil
+}
+
+// Insert stages literal rows; storage is built lazily on first use.
+func (c *Catalog) Insert(ins *Insert) error {
+	meta, ok := c.tables[key(ins.Table)]
+	if !ok {
+		return fmt.Errorf("sql: no table %q", ins.Table)
+	}
+	if meta.built != nil {
+		return fmt.Errorf("sql: table %q already built; INSERT before first query", ins.Table)
+	}
+	for _, row := range ins.Rows {
+		if len(row) != len(meta.Def.Columns) {
+			return fmt.Errorf("sql: INSERT arity %d, table %q has %d columns",
+				len(row), ins.Table, len(meta.Def.Columns))
+		}
+	}
+	meta.staged = append(meta.staged, ins.Rows...)
+	return nil
+}
+
+// BulkUniform generates rows with uniformly distributed column values,
+// the loading path for the paper's billion-row data sets. domains maps
+// column name to its inclusive [lo, hi] range; a primary-key column
+// instead receives the distinct values lo..lo+rows-1 in random order.
+func (c *Catalog) BulkUniform(rng *rand.Rand, table string, rows int, domains map[string][2]int64) error {
+	meta, ok := c.tables[key(table)]
+	if !ok {
+		return fmt.Errorf("sql: no table %q", table)
+	}
+	if meta.built != nil || len(meta.staged) > 0 {
+		return fmt.Errorf("sql: table %q already has data", table)
+	}
+	t := column.NewTable(meta.Def.Name)
+	for _, def := range meta.Def.Columns {
+		dom, ok := domains[def.Name]
+		if !ok {
+			return fmt.Errorf("sql: no domain for column %q", def.Name)
+		}
+		var col *column.Column
+		var err error
+		if def.PrimaryKey {
+			span := dom[1] - dom[0] + 1
+			if span != int64(rows) {
+				return fmt.Errorf("sql: primary key %q domain of %d values for %d rows",
+					def.Name, span, rows)
+			}
+			vals, derr := workload.DistinctInts(rng, rows, dom[0], dom[1])
+			if derr != nil {
+				return derr
+			}
+			col, err = column.EncodeDense(c.space, meta.Def.Name+"."+def.Name,
+				vals, dom[0], dom[1], column.DefaultEntrySize)
+		} else {
+			col, err = workload.EncodeUniformDense(c.space, meta.Def.Name+"."+def.Name,
+				rng, rows, dom[0], dom[1])
+		}
+		if err != nil {
+			return err
+		}
+		col.Name = def.Name
+		if err := t.AddColumn(col); err != nil {
+			return err
+		}
+	}
+	meta.built = t
+	return nil
+}
+
+// Table returns the built storage, building it from staged INSERTs on
+// first use.
+func (c *Catalog) Table(name string) (*column.Table, *TableMeta, error) {
+	meta, ok := c.tables[key(name)]
+	if !ok {
+		return nil, nil, fmt.Errorf("sql: no table %q", name)
+	}
+	if meta.built == nil {
+		if len(meta.staged) == 0 {
+			return nil, nil, fmt.Errorf("sql: table %q is empty", name)
+		}
+		t := column.NewTable(meta.Def.Name)
+		for i, def := range meta.Def.Columns {
+			vals := make([]int64, len(meta.staged))
+			for r, row := range meta.staged {
+				vals[r] = row[i]
+			}
+			col, err := column.Encode(c.space, meta.Def.Name+"."+def.Name,
+				vals, column.DefaultEntrySize)
+			if err != nil {
+				return nil, nil, err
+			}
+			col.Name = def.Name
+			if err := t.AddColumn(col); err != nil {
+				return nil, nil, err
+			}
+		}
+		meta.built = t
+		meta.staged = nil
+	}
+	return meta.built, meta, nil
+}
+
+// resolve finds the table and column a reference names within the
+// FROM list.
+func (c *Catalog) resolve(ref ColRef, from []string) (string, *column.Column, error) {
+	if ref.Table != "" {
+		for _, f := range from {
+			if strings.EqualFold(f, ref.Table) {
+				t, _, err := c.Table(f)
+				if err != nil {
+					return "", nil, err
+				}
+				col, err := findColumn(t, ref.Column)
+				return f, col, err
+			}
+		}
+		return "", nil, fmt.Errorf("sql: table %q not in FROM", ref.Table)
+	}
+	var foundTable string
+	var found *column.Column
+	for _, f := range from {
+		t, _, err := c.Table(f)
+		if err != nil {
+			return "", nil, err
+		}
+		if col, err := findColumn(t, ref.Column); err == nil {
+			if found != nil {
+				return "", nil, fmt.Errorf("sql: column %q is ambiguous", ref.Column)
+			}
+			foundTable, found = f, col
+		}
+	}
+	if found == nil {
+		return "", nil, fmt.Errorf("sql: no column %q", ref.Column)
+	}
+	return foundTable, found, nil
+}
+
+// findColumn looks a column up case-insensitively.
+func findColumn(t *column.Table, name string) (*column.Column, error) {
+	for _, col := range t.Columns() {
+		if strings.EqualFold(col.Name, name) {
+			return col, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: table %q has no column %q", t.Name, name)
+}

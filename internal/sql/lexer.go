@@ -1,0 +1,159 @@
+// Package sql implements the SQL subset the paper's benchmarks are
+// written in (Figures 2 and 3): CREATE COLUMN TABLE with INT columns
+// and primary keys, INSERT of literal rows, and SELECT with COUNT(*),
+// MAX(col), WHERE range and equi-join predicates, and GROUP BY. The
+// planner lowers statements onto the engine's operators with the
+// cache-usage identifiers of Section V-C attached.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+	tokParam // the "?" placeholder of Query 1
+)
+
+// token is one lexeme with its source position (1-based byte offset).
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents as written
+	pos  int
+}
+
+// keywords of the accepted subset.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true,
+	"BY": true, "AND": true, "AS": true, "COUNT": true, "MAX": true,
+	"MIN": true, "SUM": true, "CREATE": true, "COLUMN": true,
+	"TABLE": true, "INT": true, "INTEGER": true, "PRIMARY": true,
+	"KEY": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"NOT": true, "NULL": true,
+}
+
+// lexer splits SQL text into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+// isSymbolStart reports characters that begin operator/punctuation
+// tokens.
+func isSymbolStart(c byte) bool {
+	return strings.IndexByte("(),*;=<>.", c) >= 0
+}
+
+// lex tokenises the whole input.
+func lex(src string) ([]token, error) {
+	lx := lexer{src: src}
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			// Line comment, as in the paper's Figure 2 listings.
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: lx.pos + 1}, nil
+
+scan:
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch {
+	case c == '?':
+		lx.pos++
+		return token{kind: tokParam, text: "?", pos: start + 1}, nil
+
+	case c == '\'':
+		lx.pos++
+		for lx.pos < len(lx.src) && lx.src[lx.pos] != '\'' {
+			lx.pos++
+		}
+		if lx.pos >= len(lx.src) {
+			return token{}, fmt.Errorf("sql: unterminated string at offset %d", start+1)
+		}
+		lx.pos++
+		return token{kind: tokString, text: lx.src[start+1 : lx.pos-1], pos: start + 1}, nil
+
+	case c >= '0' && c <= '9' || c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9':
+		lx.pos++
+		for lx.pos < len(lx.src) {
+			d := lx.src[lx.pos]
+			// Accept digits, a decimal exponent form like 1e9, and _.
+			if d >= '0' && d <= '9' || d == '_' ||
+				(d == 'e' || d == 'E') && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9' {
+				lx.pos++
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: lx.src[start:lx.pos], pos: start + 1}, nil
+
+	case isIdentStart(rune(c)):
+		lx.pos++
+		for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+			lx.pos++
+		}
+		word := lx.src[start:lx.pos]
+		if up := strings.ToUpper(word); keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start + 1}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start + 1}, nil
+
+	case isSymbolStart(c):
+		lx.pos++
+		text := string(c)
+		// Two-character comparators.
+		if lx.pos < len(lx.src) {
+			two := text + string(lx.src[lx.pos])
+			switch two {
+			case ">=", "<=", "<>":
+				lx.pos++
+				text = two
+			}
+		}
+		return token{kind: tokSymbol, text: text, pos: start + 1}, nil
+
+	default:
+		return token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start+1)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

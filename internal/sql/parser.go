@@ -1,0 +1,423 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Statement
+	switch {
+	case p.peekKeyword("SELECT"):
+		stmt, err = p.parseSelect()
+	case p.peekKeyword("CREATE"):
+		stmt, err = p.parseCreate()
+	case p.peekKeyword("INSERT"):
+		stmt, err = p.parseInsert()
+	default:
+		return nil, errAt(p.peek(), "expected SELECT, CREATE or INSERT")
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, errAt(t, "trailing input %q", t.text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return errAt(p.peek(), "expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return errAt(p.peek(), "expected %q", s)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", errAt(t, "expected identifier, got %q", t.text)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) expectNumber() (int64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, errAt(t, "expected number, got %q", t.text)
+	}
+	p.advance()
+	return parseNumber(t)
+}
+
+// parseNumber handles plain integers, underscores and the 1e9 form.
+func parseNumber(t token) (int64, error) {
+	s := strings.ReplaceAll(t.text, "_", "")
+	if i := strings.IndexAny(s, "eE"); i >= 0 {
+		mant, err := strconv.ParseInt(s[:i], 10, 64)
+		if err != nil {
+			return 0, errAt(t, "bad number %q", t.text)
+		}
+		exp, err := strconv.ParseInt(s[i+1:], 10, 64)
+		if err != nil || exp < 0 || exp > 18 {
+			return 0, errAt(t, "bad exponent in %q", t.text)
+		}
+		for ; exp > 0; exp-- {
+			mant *= 10
+		}
+		return mant, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, errAt(t, "bad number %q", t.text)
+	}
+	return v, nil
+}
+
+// parseCreate parses `CREATE COLUMN TABLE name ( ... )`.
+func (p *parser) parseCreate() (*CreateTable, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("COLUMN"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	pkOf := func(col string) error {
+		for i := range ct.Columns {
+			if strings.EqualFold(ct.Columns[i].Name, col) {
+				ct.Columns[i].PrimaryKey = true
+				return nil
+			}
+		}
+		return fmt.Errorf("sql: PRIMARY KEY names unknown column %q", col)
+	}
+	for {
+		if p.acceptKeyword("PRIMARY") {
+			// Table-level `PRIMARY KEY(col)`, as in Figure 3.
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			if err := pkOf(col); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptKeyword("INT") && !p.acceptKeyword("INTEGER") {
+				return nil, errAt(p.peek(), "only INT columns are supported")
+			}
+			def := ColumnDef{Name: col}
+			if p.acceptKeyword("PRIMARY") {
+				if err := p.expectKeyword("KEY"); err != nil {
+					return nil, err
+				}
+				def.PrimaryKey = true
+			}
+			if p.acceptKeyword("NOT") {
+				if err := p.expectKeyword("NULL"); err != nil {
+					return nil, err
+				}
+			}
+			ct.Columns = append(ct.Columns, def)
+		}
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if len(ct.Columns) == 0 {
+		return nil, fmt.Errorf("sql: table %q has no columns", name)
+	}
+	return ct, nil
+}
+
+// parseInsert parses `INSERT INTO t VALUES (...) [, (...)]`.
+func (p *parser) parseInsert() (*Insert, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []int64
+		for {
+			v, err := p.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if len(ins.Rows) > 0 && len(row) != len(ins.Rows[0]) {
+			return nil, fmt.Errorf("sql: VALUES rows of differing arity")
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	return ins, nil
+}
+
+// parseSelect parses the accepted SELECT form.
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, name)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if len(sel.From) > 2 {
+		return nil, fmt.Errorf("sql: at most two tables in FROM")
+	}
+	if p.acceptKeyword("WHERE") {
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			sel.Where = append(sel.Where, pred)
+			if p.acceptKeyword("AND") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, c)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind == tokKeyword {
+		var fn AggFunc
+		switch t.text {
+		case "COUNT":
+			fn = AggCountStar
+		case "MAX":
+			fn = AggMax
+		case "MIN":
+			fn = AggMin
+		case "SUM":
+			fn = AggSum
+		default:
+			return SelectItem{}, errAt(t, "unexpected keyword %q in select list", t.text)
+		}
+		p.advance()
+		if err := p.expectSymbol("("); err != nil {
+			return SelectItem{}, err
+		}
+		if fn == AggCountStar {
+			if err := p.expectSymbol("*"); err != nil {
+				return SelectItem{}, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return SelectItem{}, err
+			}
+			return SelectItem{Func: AggCountStar}, nil
+		}
+		col, err := p.parseColRef()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Func: fn, Column: col}, nil
+	}
+	col, err := p.parseColRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Func: AggNone, Column: col}, nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.acceptSymbol(".") {
+		second, err := p.expectIdent()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: first, Column: second}, nil
+	}
+	return ColRef{Column: first}, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	left, err := p.parseColRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	t := p.peek()
+	if t.kind != tokSymbol {
+		return Predicate{}, errAt(t, "expected comparison operator")
+	}
+	switch t.text {
+	case "=", ">", "<", ">=", "<=", "<>":
+	default:
+		return Predicate{}, errAt(t, "unsupported operator %q", t.text)
+	}
+	p.advance()
+	pred := Predicate{Left: left, Op: CompareOp(t.text)}
+	rt := p.peek()
+	switch {
+	case rt.kind == tokParam:
+		p.advance()
+		pred.IsParam = true
+	case rt.kind == tokNumber:
+		v, err := p.expectNumber()
+		if err != nil {
+			return Predicate{}, err
+		}
+		pred.Literal = &v
+	case rt.kind == tokIdent:
+		right, err := p.parseColRef()
+		if err != nil {
+			return Predicate{}, err
+		}
+		pred.Right = &right
+	default:
+		return Predicate{}, errAt(rt, "expected literal, ? or column")
+	}
+	return pred, nil
+}

@@ -1,0 +1,427 @@
+package sql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cachepart/internal/column"
+	"cachepart/internal/core"
+	"cachepart/internal/engine"
+	"cachepart/internal/exec"
+	"cachepart/internal/memory"
+)
+
+// PlanKind identifies the shape the planner lowered a SELECT to.
+type PlanKind int
+
+// Supported plan shapes — the paper's three operator classes.
+const (
+	// PlanScanCount is Query 1's shape: COUNT(*) with a range
+	// predicate, a polluting column scan.
+	PlanScanCount PlanKind = iota
+	// PlanGroupAgg is Query 2's shape: aggregate GROUP BY column, a
+	// cache-sensitive hash aggregation.
+	PlanGroupAgg
+	// PlanJoinCount is Query 3's shape: COUNT(*) over a key join, the
+	// bit-vector foreign-key join whose class depends on the data.
+	PlanJoinCount
+)
+
+// String names the plan shape.
+func (k PlanKind) String() string {
+	switch k {
+	case PlanScanCount:
+		return "scan-count"
+	case PlanGroupAgg:
+		return "group-aggregate"
+	case PlanJoinCount:
+		return "join-count"
+	default:
+		return fmt.Sprintf("PlanKind(%d)", int(k))
+	}
+}
+
+// Plan is an executable query plan. It implements engine.Query, so
+// planned statements co-run under the engine's scheduler and cache
+// partitioning like any built-in workload, and it supports synchronous
+// execution for direct result retrieval.
+type Plan struct {
+	Kind PlanKind
+	stmt *Select
+
+	space *memory.Space
+
+	// scan-count state.
+	scanCol   *column.Column
+	scanOp    CompareOp
+	scanLit   *int64 // nil for "?"
+	paramSpan int64  // domain size for "?" redraws
+
+	// group-aggregate state.
+	aggGroup *column.Column
+	aggValue *column.Column
+	aggKind  exec.AggKind
+	locals   []*exec.AggTable
+	global   *exec.AggTable
+
+	// join-count state.
+	pkCol *column.Column
+	fkCol *column.Column
+	bv    *exec.BitVector
+
+	// results of the last completed synchronous execution.
+	count  int64
+	groups map[int64]int64
+}
+
+// PlanQuery parses and plans a SELECT statement against the catalog.
+func PlanQuery(cat *Catalog, src string) (*Plan, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sql: not a SELECT statement")
+	}
+	return PlanSelect(cat, sel)
+}
+
+// PlanSelect lowers a parsed SELECT.
+func PlanSelect(cat *Catalog, sel *Select) (*Plan, error) {
+	p := &Plan{stmt: sel, space: cat.space}
+	switch {
+	case len(sel.From) == 2:
+		return p.planJoin(cat, sel)
+	case len(sel.GroupBy) > 0:
+		return p.planGroupAgg(cat, sel)
+	default:
+		return p.planScanCount(cat, sel)
+	}
+}
+
+// planScanCount recognises Query 1's shape.
+func (p *Plan) planScanCount(cat *Catalog, sel *Select) (*Plan, error) {
+	if len(sel.Items) != 1 || sel.Items[0].Func != AggCountStar {
+		return nil, fmt.Errorf("sql: ungrouped single-table SELECT must be COUNT(*)")
+	}
+	if len(sel.Where) != 1 {
+		return nil, fmt.Errorf("sql: scan plan needs exactly one predicate")
+	}
+	pred := sel.Where[0]
+	if pred.IsJoin() {
+		return nil, fmt.Errorf("sql: join predicate without a second table")
+	}
+	_, col, err := cat.resolve(pred.Left, sel.From)
+	if err != nil {
+		return nil, err
+	}
+	switch pred.Op {
+	case ">", ">=", "<", "<=", "=":
+	default:
+		return nil, fmt.Errorf("sql: operator %q not supported in scans", pred.Op)
+	}
+	p.Kind = PlanScanCount
+	p.scanCol = col
+	p.scanOp = pred.Op
+	p.scanLit = pred.Literal
+	p.paramSpan = int64(col.Dict.Len())
+	return p, nil
+}
+
+// planGroupAgg recognises Query 2's shape.
+func (p *Plan) planGroupAgg(cat *Catalog, sel *Select) (*Plan, error) {
+	if len(sel.GroupBy) != 1 {
+		return nil, fmt.Errorf("sql: exactly one GROUP BY column is supported")
+	}
+	if len(sel.Where) != 0 {
+		return nil, fmt.Errorf("sql: WHERE with GROUP BY is not supported")
+	}
+	_, gcol, err := cat.resolve(sel.GroupBy[0], sel.From)
+	if err != nil {
+		return nil, err
+	}
+	var agg *SelectItem
+	for i := range sel.Items {
+		it := &sel.Items[i]
+		switch it.Func {
+		case AggNone:
+			// A bare column must be the grouping column.
+			if !strings.EqualFold(it.Column.Column, sel.GroupBy[0].Column) {
+				return nil, fmt.Errorf("sql: column %v not in GROUP BY", it.Column)
+			}
+		case AggMax, AggMin, AggSum:
+			if agg != nil {
+				return nil, fmt.Errorf("sql: one aggregate per query is supported")
+			}
+			agg = it
+		default:
+			return nil, fmt.Errorf("sql: %v with GROUP BY is not supported", it.Func)
+		}
+	}
+	if agg == nil {
+		return nil, fmt.Errorf("sql: grouped query needs an aggregate")
+	}
+	_, vcol, err := cat.resolve(agg.Column, sel.From)
+	if err != nil {
+		return nil, err
+	}
+	p.Kind = PlanGroupAgg
+	p.aggGroup = gcol
+	p.aggValue = vcol
+	switch agg.Func {
+	case AggMax:
+		p.aggKind = exec.AggMax
+	case AggMin:
+		p.aggKind = exec.AggMin
+	case AggSum:
+		p.aggKind = exec.AggSum
+	}
+	return p, nil
+}
+
+// planJoin recognises Query 3's shape.
+func (p *Plan) planJoin(cat *Catalog, sel *Select) (*Plan, error) {
+	if len(sel.Items) != 1 || sel.Items[0].Func != AggCountStar {
+		return nil, fmt.Errorf("sql: two-table SELECT must be COUNT(*)")
+	}
+	if len(sel.Where) != 1 || !sel.Where[0].IsJoin() || sel.Where[0].Op != "=" {
+		return nil, fmt.Errorf("sql: two-table SELECT needs one equi-join predicate")
+	}
+	pred := sel.Where[0]
+	lt, lcol, err := cat.resolve(pred.Left, sel.From)
+	if err != nil {
+		return nil, err
+	}
+	rt, rcol, err := cat.resolve(*pred.Right, sel.From)
+	if err != nil {
+		return nil, err
+	}
+	if strings.EqualFold(lt, rt) {
+		return nil, fmt.Errorf("sql: join predicate must span both tables")
+	}
+	// The primary-key side builds the bit vector.
+	_, lmeta, err := cat.Table(lt)
+	if err != nil {
+		return nil, err
+	}
+	_, rmeta, err := cat.Table(rt)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case strings.EqualFold(lmeta.PrimaryKey, lcol.Name):
+		p.pkCol, p.fkCol = lcol, rcol
+	case strings.EqualFold(rmeta.PrimaryKey, rcol.Name):
+		p.pkCol, p.fkCol = rcol, lcol
+	default:
+		return nil, fmt.Errorf("sql: neither join column is a primary key")
+	}
+	p.Kind = PlanJoinCount
+	bv, err := exec.NewBitVector(p.space, lt+"⋈"+rt+".bv",
+		p.pkCol.Dict.Value(0), uint64(p.pkCol.Dict.Len()))
+	if err != nil {
+		return nil, err
+	}
+	p.bv = bv
+	return p, nil
+}
+
+// Name implements engine.Query.
+func (p *Plan) Name() string { return p.Kind.String() }
+
+// CUID reports the cache-usage class the planner annotates the plan's
+// main operator with, following Section V-C.
+func (p *Plan) CUID() core.CUID {
+	switch p.Kind {
+	case PlanScanCount:
+		return core.Polluting
+	case PlanJoinCount:
+		return core.Depends
+	default:
+		return core.Sensitive
+	}
+}
+
+// scanCodes derives the matching code range for the scan predicate.
+func (p *Plan) scanCodes(rng *rand.Rand) (lo, hi uint32, ok bool) {
+	dict := p.scanCol.Dict
+	var bound int64
+	if p.scanLit != nil {
+		bound = *p.scanLit
+	} else {
+		// Redraw "?" uniformly from the domain, as Section III-B does
+		// after every execution.
+		bound = dict.Value(0) + rng.Int63n(int64(dict.Len()))
+	}
+	n := uint32(dict.Len())
+	switch p.scanOp {
+	case ">":
+		return dict.LowerBound(bound + 1), n, true
+	case ">=":
+		return dict.LowerBound(bound), n, true
+	case "<":
+		return 0, dict.LowerBound(bound), true
+	case "<=":
+		return 0, dict.LowerBound(bound + 1), true
+	case "=":
+		code, found := dict.CodeOf(bound)
+		if !found {
+			return 0, 0, false
+		}
+		return code, code + 1, true
+	}
+	return 0, 0, false
+}
+
+// Plan implements engine.Query: one execution's phases.
+func (p *Plan) Plan(cores int, rng *rand.Rand) ([]engine.Phase, error) {
+	switch p.Kind {
+	case PlanScanCount:
+		lo, hi, _ := p.scanCodes(rng)
+		parts := engine.PartitionRows(p.scanCol.Rows(), cores)
+		kernels := make([]exec.Kernel, 0, len(parts))
+		for _, pr := range parts {
+			k, err := exec.NewColumnScan(p.scanCol, pr[0], pr[1], 0)
+			if err != nil {
+				return nil, err
+			}
+			k.LoCode, k.HiCode = lo, hi
+			kernels = append(kernels, k)
+		}
+		return []engine.Phase{{
+			Name: "scan", CUID: core.Polluting, Kernels: kernels, CountRows: true,
+		}}, nil
+
+	case PlanGroupAgg:
+		p.ensureTables(cores)
+		p.global.Clear()
+		parts := engine.PartitionRows(p.aggGroup.Rows(), cores)
+		kernels := make([]exec.Kernel, 0, len(parts))
+		merges := make([]exec.Kernel, 0, len(parts))
+		for i, pr := range parts {
+			p.locals[i].Clear()
+			k, err := newAggKernel(p.aggGroup, p.aggValue, pr[0], pr[1], p.locals[i], p.aggKind)
+			if err != nil {
+				return nil, err
+			}
+			kernels = append(kernels, k)
+			merges = append(merges, exec.NewAggMergeKind([]*exec.AggTable{p.locals[i]}, p.global, p.aggKind))
+		}
+		return []engine.Phase{
+			{Name: "aggregate-local", CUID: core.Sensitive, Kernels: kernels, CountRows: true},
+			{Name: "aggregate-merge", CUID: core.Sensitive, Kernels: merges},
+		}, nil
+
+	case PlanJoinCount:
+		fp := core.Footprint{BitVectorBytes: p.bv.Bytes()}
+		buildParts := engine.PartitionRows(p.pkCol.Rows(), cores)
+		builds := make([]exec.Kernel, 0, len(buildParts))
+		for _, pr := range buildParts {
+			k, err := exec.NewJoinBuild(p.pkCol, pr[0], pr[1], p.bv)
+			if err != nil {
+				return nil, err
+			}
+			builds = append(builds, k)
+		}
+		probeParts := engine.PartitionRows(p.fkCol.Rows(), cores)
+		probes := make([]exec.Kernel, 0, len(probeParts))
+		for _, pr := range probeParts {
+			k, err := exec.NewJoinProbe(p.fkCol, pr[0], pr[1], p.bv)
+			if err != nil {
+				return nil, err
+			}
+			probes = append(probes, k)
+		}
+		return []engine.Phase{
+			{Name: "join-build", CUID: core.Depends, Footprint: fp, Kernels: builds, CountRows: true},
+			{Name: "join-probe", CUID: core.Depends, Footprint: fp, Kernels: probes, CountRows: true},
+		}, nil
+	}
+	return nil, fmt.Errorf("sql: unknown plan kind %v", p.Kind)
+}
+
+// ensureTables sizes the aggregation hash tables once per worker
+// count and reuses them across executions.
+func (p *Plan) ensureTables(cores int) {
+	groups := p.aggGroup.Dict.Len()
+	if len(p.locals) != cores {
+		p.locals = make([]*exec.AggTable, cores)
+		for i := range p.locals {
+			p.locals[i] = exec.NewAggTable(p.space, fmt.Sprintf("sql.agg.l%d", i), groups)
+		}
+	}
+	if p.global == nil {
+		p.global = exec.NewAggTable(p.space, "sql.agg.g", groups)
+	}
+}
+
+// PrewarmRegions declares the plan's steady-state working set for the
+// engine's prewarm hook: the value dictionary and hash tables of an
+// aggregation, or a join's bit vector.
+func (p *Plan) PrewarmRegions(cores int) []memory.Region {
+	switch p.Kind {
+	case PlanGroupAgg:
+		p.ensureTables(cores)
+		regions := []memory.Region{p.aggValue.Dict.Region()}
+		for _, lt := range p.locals {
+			regions = append(regions, lt.Region())
+		}
+		return append(regions, p.global.Region())
+	case PlanJoinCount:
+		return []memory.Region{p.bv.Region()}
+	default:
+		return nil
+	}
+}
+
+// newAggKernel builds the local aggregation kernel with the plan's
+// fold.
+func newAggKernel(g, v *column.Column, from, to int, tab *exec.AggTable, kind exec.AggKind) (exec.Kernel, error) {
+	return exec.NewAggLocalKind(g, v, from, to, tab, kind)
+}
+
+// Execute runs the plan synchronously to completion on the context's
+// core and stores its result.
+func (p *Plan) Execute(ctx *exec.Ctx, rng *rand.Rand) error {
+	phases, err := p.Plan(1, rng)
+	if err != nil {
+		return err
+	}
+	if p.Kind == PlanJoinCount {
+		p.bv.Clear()
+	}
+	for _, ph := range phases {
+		for _, k := range ph.Kernels {
+			exec.Drive(ctx, k, 4096)
+		}
+	}
+	switch p.Kind {
+	case PlanScanCount:
+		p.count = 0
+		for _, ph := range phases {
+			for _, k := range ph.Kernels {
+				p.count += k.(*exec.ColumnScan).Count
+			}
+		}
+	case PlanJoinCount:
+		p.count = 0
+		for _, k := range phases[1].Kernels {
+			p.count += k.(*exec.JoinProbe).Matches
+		}
+	case PlanGroupAgg:
+		p.groups = make(map[int64]int64, p.global.Len())
+		p.global.Each(func(code uint32, v int64) {
+			p.groups[p.aggGroup.Dict.Value(code)] = v
+		})
+	}
+	return nil
+}
+
+// Count returns the COUNT(*) result of the last Execute.
+func (p *Plan) Count() int64 { return p.count }
+
+// Groups returns the grouped aggregate of the last Execute, keyed by
+// the decoded group value.
+func (p *Plan) Groups() map[int64]int64 { return p.groups }

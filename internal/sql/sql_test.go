@@ -1,0 +1,439 @@
+package sql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cachepart/internal/cachesim"
+	"cachepart/internal/exec"
+	"cachepart/internal/memory"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT COUNT(*) FROM A WHERE A.X > ? -- comment\n;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	want := []string{"SELECT", "COUNT", "(", "*", ")", "FROM", "A", "WHERE", "A", ".", "X", ">", "?", ";", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[0] != tokKeyword || kinds[6] != tokIdent || kinds[12] != tokParam {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestLexNumbersAndErrors(t *testing.T) {
+	toks, err := lex("42 1e6 1_000_000 -5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 5 { // 4 numbers + EOF
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i, want := range []string{"42", "1e6", "1_000_000", "-5"} {
+		if toks[i].kind != tokNumber || toks[i].text != want {
+			t.Errorf("token %d = %+v", i, toks[i])
+		}
+	}
+	if _, err := lex("SELECT @"); err == nil {
+		t.Error("bad character accepted")
+	}
+	if _, err := lex("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	// The exact statements of Figure 2.
+	q1, err := Parse("SELECT COUNT(*) FROM A WHERE A.X > ?;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := q1.(*Select)
+	if len(sel.Items) != 1 || sel.Items[0].Func != AggCountStar {
+		t.Errorf("Q1 items = %+v", sel.Items)
+	}
+	if !sel.Where[0].IsParam {
+		t.Error("Q1 predicate should be parameterised")
+	}
+
+	q2, err := Parse("SELECT MAX(B.V), B.G FROM B GROUP BY B.G;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel = q2.(*Select)
+	if len(sel.Items) != 2 || sel.Items[0].Func != AggMax {
+		t.Errorf("Q2 items = %+v", sel.Items)
+	}
+	if len(sel.GroupBy) != 1 || sel.GroupBy[0].Column != "G" {
+		t.Errorf("Q2 group by = %+v", sel.GroupBy)
+	}
+
+	q3, err := Parse("SELECT COUNT(*) FROM R, S WHERE R.P = S.F;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel = q3.(*Select)
+	if len(sel.From) != 2 || !sel.Where[0].IsJoin() {
+		t.Errorf("Q3 = %+v", sel)
+	}
+}
+
+func TestParsePaperSchemata(t *testing.T) {
+	// The exact statements of Figure 3.
+	for _, ddl := range []string{
+		"CREATE COLUMN TABLE A( X INT );",
+		"CREATE COLUMN TABLE B( V INT, G INT );",
+		"CREATE COLUMN TABLE R( P INT, PRIMARY KEY(P));",
+		"CREATE COLUMN TABLE S( F INT );",
+	} {
+		stmt, err := Parse(ddl)
+		if err != nil {
+			t.Fatalf("%s: %v", ddl, err)
+		}
+		if _, ok := stmt.(*CreateTable); !ok {
+			t.Fatalf("%s parsed to %T", ddl, stmt)
+		}
+	}
+	ct, _ := Parse("CREATE COLUMN TABLE R( P INT, PRIMARY KEY(P));")
+	if !ct.(*CreateTable).Columns[0].PrimaryKey {
+		t.Error("table-level PRIMARY KEY not applied")
+	}
+	ct, _ = Parse("CREATE COLUMN TABLE T( K INT PRIMARY KEY, V INT NOT NULL );")
+	cols := ct.(*CreateTable).Columns
+	if !cols[0].PrimaryKey || cols[1].PrimaryKey {
+		t.Error("inline PRIMARY KEY misparsed")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := Parse("INSERT INTO t VALUES (1, 2), (3, 4);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*Insert)
+	if len(ins.Rows) != 2 || ins.Rows[1][1] != 4 {
+		t.Errorf("rows = %v", ins.Rows)
+	}
+	if _, err := Parse("INSERT INTO t VALUES (1), (2, 3);"); err == nil {
+		t.Error("mixed arity accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DELETE FROM t",
+		"SELECT FROM t",
+		"SELECT COUNT(*)",
+		"SELECT COUNT(*) FROM a, b, c",
+		"SELECT COUNT(*) FROM t WHERE",
+		"SELECT COUNT(*) FROM t WHERE x !! 3",
+		"CREATE TABLE t (x INT)", // missing COLUMN
+		"CREATE COLUMN TABLE t ()",
+		"CREATE COLUMN TABLE t (x TEXT)", // unsupported type
+		"CREATE COLUMN TABLE t (x INT, PRIMARY KEY(y))",
+		"SELECT COUNT(*) FROM t WHERE x > 1 extra",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}
+
+func newTestCtx(t *testing.T) *exec.Ctx {
+	t.Helper()
+	cfg := cachesim.DefaultConfig().Scaled(64)
+	cfg.Cores = 2
+	m, err := cachesim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &exec.Ctx{M: m, Core: 0}
+}
+
+func TestCatalogDDLAndInsert(t *testing.T) {
+	cat := NewCatalog(memory.NewSpace())
+	if err := cat.Exec("CREATE COLUMN TABLE t (x INT, y INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Exec("CREATE COLUMN TABLE t (x INT)"); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if err := cat.Exec("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Exec("INSERT INTO nope VALUES (1)"); err == nil {
+		t.Error("insert into missing table accepted")
+	}
+	if err := cat.Exec("INSERT INTO t VALUES (1)"); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := cat.Exec("SELECT COUNT(*) FROM t WHERE x > 1"); err == nil {
+		t.Error("Exec of SELECT accepted")
+	}
+	tab, meta, err := cat.Table("T") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 3 || meta.PrimaryKey != "" {
+		t.Errorf("table = %d rows, pk %q", tab.Rows(), meta.PrimaryKey)
+	}
+	// Further INSERT after build is rejected.
+	if err := cat.Exec("INSERT INTO t VALUES (4, 40)"); err == nil {
+		t.Error("insert after build accepted")
+	}
+}
+
+func TestScanCountEndToEnd(t *testing.T) {
+	cat := NewCatalog(memory.NewSpace())
+	if err := cat.Exec("CREATE COLUMN TABLE A (X INT)"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO A VALUES ")
+	for i := 0; i < 100; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("(")
+		sb.WriteString(itoa(int64(i)))
+		sb.WriteString(")")
+	}
+	if err := cat.Exec(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanQuery(cat, "SELECT COUNT(*) FROM A WHERE X > 60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != PlanScanCount {
+		t.Fatalf("kind = %v", plan.Kind)
+	}
+	ctx := newTestCtx(t)
+	if err := plan.Execute(ctx, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Count() != 39 { // 61..99
+		t.Errorf("Count = %d, want 39", plan.Count())
+	}
+
+	// All comparison operators.
+	for _, tc := range []struct {
+		sql  string
+		want int64
+	}{
+		{"SELECT COUNT(*) FROM A WHERE X >= 60", 40},
+		{"SELECT COUNT(*) FROM A WHERE X < 10", 10},
+		{"SELECT COUNT(*) FROM A WHERE X <= 10", 11},
+		{"SELECT COUNT(*) FROM A WHERE X = 42", 1},
+		{"SELECT COUNT(*) FROM A WHERE X = 1000", 0},
+	} {
+		p, err := PlanQuery(cat, tc.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.sql, err)
+		}
+		if err := p.Execute(ctx, rand.New(rand.NewSource(1))); err != nil {
+			t.Fatal(err)
+		}
+		if p.Count() != tc.want {
+			t.Errorf("%s = %d, want %d", tc.sql, p.Count(), tc.want)
+		}
+	}
+}
+
+func TestGroupAggEndToEnd(t *testing.T) {
+	cat := NewCatalog(memory.NewSpace())
+	if err := cat.Exec("CREATE COLUMN TABLE B (V INT, G INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Exec("INSERT INTO B VALUES (5, 1), (9, 1), (2, 2), (7, 2), (7, 3)"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := newTestCtx(t)
+
+	plan, err := PlanQuery(cat, "SELECT MAX(B.V), B.G FROM B GROUP BY B.G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != PlanGroupAgg {
+		t.Fatalf("kind = %v", plan.Kind)
+	}
+	if err := plan.Execute(ctx, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]int64{1: 9, 2: 7, 3: 7}
+	got := plan.Groups()
+	if len(got) != len(want) {
+		t.Fatalf("groups = %v", got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("MAX group %d = %d, want %d", k, got[k], v)
+		}
+	}
+
+	// MIN and SUM.
+	pMin, err := PlanQuery(cat, "SELECT MIN(V), G FROM B GROUP BY G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = pMin.Execute(ctx, rand.New(rand.NewSource(1)))
+	if g := pMin.Groups(); g[1] != 5 || g[2] != 2 || g[3] != 7 {
+		t.Errorf("MIN groups = %v", g)
+	}
+	pSum, err := PlanQuery(cat, "SELECT SUM(V), G FROM B GROUP BY G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = pSum.Execute(ctx, rand.New(rand.NewSource(1)))
+	if g := pSum.Groups(); g[1] != 14 || g[2] != 9 || g[3] != 7 {
+		t.Errorf("SUM groups = %v", g)
+	}
+}
+
+func TestJoinCountEndToEnd(t *testing.T) {
+	cat := NewCatalog(memory.NewSpace())
+	if err := cat.Exec("CREATE COLUMN TABLE R (P INT, PRIMARY KEY(P))"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Exec("CREATE COLUMN TABLE S (F INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Exec("INSERT INTO R VALUES (1), (2), (3), (4)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Exec("INSERT INTO S VALUES (1), (1), (2), (4), (4), (4)"); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanQuery(cat, "SELECT COUNT(*) FROM R, S WHERE R.P = S.F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != PlanJoinCount {
+		t.Fatalf("kind = %v", plan.Kind)
+	}
+	if plan.CUID().String() != "depends" {
+		t.Errorf("join CUID = %v", plan.CUID())
+	}
+	ctx := newTestCtx(t)
+	if err := plan.Execute(ctx, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Count() != 6 {
+		t.Errorf("join count = %d, want 6", plan.Count())
+	}
+}
+
+func TestBulkUniform(t *testing.T) {
+	cat := NewCatalog(memory.NewSpace())
+	if err := cat.Exec("CREATE COLUMN TABLE A (X INT)"); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := cat.BulkUniform(rng, "A", 10_000, map[string][2]int64{"X": {1, 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanQuery(cat, "SELECT COUNT(*) FROM A WHERE X >= 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := newTestCtx(t)
+	if err := plan.Execute(ctx, rng); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Count() != 10_000 {
+		t.Errorf("count = %d, want all rows", plan.Count())
+	}
+	// PK domain must match row count.
+	if err := cat.Exec("CREATE COLUMN TABLE R (P INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.BulkUniform(rng, "R", 100, map[string][2]int64{"P": {1, 50}}); err == nil {
+		t.Error("PK domain mismatch accepted")
+	}
+	if err := cat.BulkUniform(rng, "R", 100, map[string][2]int64{"P": {1, 100}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.BulkUniform(rng, "R", 100, map[string][2]int64{"P": {1, 100}}); err == nil {
+		t.Error("double load accepted")
+	}
+	if err := cat.BulkUniform(rng, "R2", 1, nil); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestPlannerRejections(t *testing.T) {
+	cat := NewCatalog(memory.NewSpace())
+	_ = cat.Exec("CREATE COLUMN TABLE t (x INT, y INT)")
+	_ = cat.Exec("CREATE COLUMN TABLE u (z INT)")
+	_ = cat.Exec("INSERT INTO t VALUES (1, 2)")
+	_ = cat.Exec("INSERT INTO u VALUES (3)")
+	bad := []string{
+		"SELECT MAX(x) FROM t",                         // aggregate without GROUP BY
+		"SELECT COUNT(*) FROM t",                       // no predicate
+		"SELECT COUNT(*) FROM t WHERE x > 1 AND y > 2", // multiple predicates
+		"SELECT COUNT(*) FROM t WHERE x <> 1",          // unsupported scan op
+		"SELECT MAX(x), y FROM t GROUP BY x",           // stray column
+		"SELECT COUNT(*), x FROM t GROUP BY x",         // COUNT with GROUP BY
+		"SELECT MAX(x) FROM t GROUP BY x, y",           // two group columns
+		"SELECT MAX(x) FROM t WHERE y > 1 GROUP BY x",  // filtered aggregation
+		"SELECT COUNT(*) FROM t, u WHERE x > 1",        // join without join pred
+		"SELECT COUNT(*) FROM t, u WHERE x = y",        // both columns in t
+		"SELECT COUNT(*) FROM t, u WHERE x = z",        // no PK on either side
+		"SELECT COUNT(*) FROM t WHERE q > 1",           // unknown column
+		"SELECT COUNT(*) FROM nope WHERE x > 1",        // unknown table
+	}
+	for _, src := range bad {
+		if _, err := PlanQuery(cat, src); err == nil {
+			t.Errorf("planned: %s", src)
+		}
+	}
+	if _, err := PlanQuery(cat, "CREATE COLUMN TABLE z (a INT)"); err == nil {
+		t.Error("DDL planned as query")
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	cat := NewCatalog(memory.NewSpace())
+	_ = cat.Exec("CREATE COLUMN TABLE a (x INT, PRIMARY KEY(x))")
+	_ = cat.Exec("CREATE COLUMN TABLE b (x INT)")
+	_ = cat.Exec("INSERT INTO a VALUES (1)")
+	_ = cat.Exec("INSERT INTO b VALUES (1)")
+	if _, err := PlanQuery(cat, "SELECT COUNT(*) FROM a, b WHERE x = x"); err == nil {
+		t.Error("ambiguous column accepted")
+	}
+	if _, err := PlanQuery(cat, "SELECT COUNT(*) FROM a, b WHERE a.x = b.x"); err != nil {
+		t.Errorf("qualified join rejected: %v", err)
+	}
+}
+
+// itoa avoids pulling strconv into the test imports for one literal
+// builder.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

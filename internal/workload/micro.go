@@ -1,0 +1,425 @@
+// Package workload builds the data sets and query implementations of
+// the paper's experiments: the three micro-benchmark queries of
+// Figure 2 over the schemata of Figure 3, plus (in subpackages) the
+// TPC-H-profile workload of Figure 11 and the S/4HANA-style OLTP
+// workload of Figures 1 and 12.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cachepart/internal/column"
+	"cachepart/internal/core"
+	"cachepart/internal/engine"
+	"cachepart/internal/exec"
+	"cachepart/internal/memory"
+)
+
+// UniformInts generates n integers uniformly in [lo, hi].
+func UniformInts(rng *rand.Rand, n int, lo, hi int64) []int64 {
+	out := make([]int64, n)
+	span := hi - lo + 1
+	for i := range out {
+		out[i] = lo + rng.Int63n(span)
+	}
+	return out
+}
+
+// ZipfInts generates n integers from [lo, hi] under a Zipf
+// distribution with exponent s > 1 — skewed domains for workloads
+// beyond the paper's uniform data (hot dictionary entries, skewed
+// group sizes).
+func ZipfInts(rng *rand.Rand, n int, lo, hi int64, s float64) ([]int64, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("workload: empty domain [%d,%d]", lo, hi)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: Zipf exponent %v must exceed 1", s)
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(hi-lo))
+	if z == nil {
+		return nil, fmt.Errorf("workload: invalid Zipf parameters")
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = lo + int64(z.Uint64())
+	}
+	return out, nil
+}
+
+// EncodeZipfDense builds a dense-dictionary column of Zipf-distributed
+// values over [lo, hi].
+func EncodeZipfDense(space *memory.Space, name string, rng *rand.Rand, n int, lo, hi int64, s float64) (*column.Column, error) {
+	vals, err := ZipfInts(rng, n, lo, hi, s)
+	if err != nil {
+		return nil, err
+	}
+	return column.EncodeDense(space, name, vals, lo, hi, column.DefaultEntrySize)
+}
+
+// EncodeUniformDense builds a dense-dictionary column of n values
+// drawn uniformly from [lo, hi] without materialising an intermediate
+// value slice, so multi-million-row samples stay cheap to load.
+func EncodeUniformDense(space *memory.Space, name string, rng *rand.Rand, n int, lo, hi int64) (*column.Column, error) {
+	dict, err := column.NewDenseDictionary(space, name, lo, hi, column.DefaultEntrySize)
+	if err != nil {
+		return nil, err
+	}
+	codes, err := column.NewPackedVector(space, name, n, dict.CodeBits())
+	if err != nil {
+		return nil, err
+	}
+	span := hi - lo + 1
+	for i := 0; i < n; i++ {
+		codes.Set(i, uint32(rng.Int63n(span)))
+	}
+	return &column.Column{Name: name, Dict: dict, Codes: codes}, nil
+}
+
+// DistinctInts samples n distinct integers from [lo, hi] in random
+// order; n must not exceed the domain size. For small domains it
+// shuffles; for large ones it uses rejection sampling.
+func DistinctInts(rng *rand.Rand, n int, lo, hi int64) ([]int64, error) {
+	span := hi - lo + 1
+	if int64(n) > span {
+		return nil, fmt.Errorf("workload: %d distinct values from domain of %d", n, span)
+	}
+	if int64(n)*2 >= span {
+		all := make([]int64, span)
+		for i := range all {
+			all[i] = lo + int64(i)
+		}
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		return all[:n], nil
+	}
+	seen := make(map[int64]struct{}, n)
+	out := make([]int64, 0, n)
+	for len(out) < n {
+		v := lo + rng.Int63n(span)
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Q1Spec describes the column-scan data set: a single INT column of
+// Rows values drawn uniformly from 1..Distinct (the paper: 10^9 rows,
+// 10^6 distinct, 20-bit codes).
+type Q1Spec struct {
+	Rows     int
+	Distinct int64
+}
+
+// ScanQuery is Query 1: SELECT COUNT(*) FROM A WHERE A.X > ?, with "?"
+// redrawn uniformly from the domain for every execution.
+type ScanQuery struct {
+	Label string
+	Col   *column.Column
+	spec  Q1Spec
+}
+
+// NewQ1 generates the data set and returns the query.
+func NewQ1(space *memory.Space, rng *rand.Rand, spec Q1Spec) (*ScanQuery, error) {
+	if spec.Rows <= 0 || spec.Distinct <= 0 {
+		return nil, fmt.Errorf("workload: bad Q1 spec %+v", spec)
+	}
+	col, err := EncodeUniformDense(space, "A.X", rng, spec.Rows, 1, spec.Distinct)
+	if err != nil {
+		return nil, err
+	}
+	return &ScanQuery{Label: "Q1(scan)", Col: col, spec: spec}, nil
+}
+
+// Name identifies the query in results.
+func (q *ScanQuery) Name() string { return q.Label }
+
+// Spec returns the data-set parameters.
+func (q *ScanQuery) Spec() Q1Spec { return q.spec }
+
+// Plan builds one execution: a single polluting scan phase
+// partitioned across the cores.
+func (q *ScanQuery) Plan(cores int, rng *rand.Rand) ([]engine.Phase, error) {
+	bound := 1 + rng.Int63n(q.spec.Distinct)
+	parts := engine.PartitionRows(q.Col.Rows(), cores)
+	kernels := make([]exec.Kernel, 0, len(parts))
+	for _, p := range parts {
+		k, err := exec.NewColumnScan(q.Col, p[0], p[1], bound)
+		if err != nil {
+			return nil, err
+		}
+		kernels = append(kernels, k)
+	}
+	return []engine.Phase{{
+		Name:      "scan",
+		CUID:      core.Polluting,
+		Kernels:   kernels,
+		CountRows: true,
+	}}, nil
+}
+
+// Q2Spec describes the aggregation data set: Rows rows with a value
+// column of DistinctV distinct values (dictionary size = 4·DistinctV
+// bytes) and a grouping column of Groups distinct values (hash table
+// size tracks Groups).
+type Q2Spec struct {
+	Rows      int
+	DistinctV int64
+	Groups    int64
+}
+
+// AggQuery is Query 2: SELECT MAX(B.V), B.G FROM B GROUP BY B.G,
+// executed as parallel thread-local aggregation followed by a merge.
+type AggQuery struct {
+	Label    string
+	GroupCol *column.Column
+	ValueCol *column.Column
+	spec     Q2Spec
+
+	space      *memory.Space
+	locals     []*exec.AggTable
+	global     *exec.AggTable
+	lastResult map[uint32]int64
+}
+
+// NewQ2 generates the data set and returns the query.
+func NewQ2(space *memory.Space, rng *rand.Rand, spec Q2Spec) (*AggQuery, error) {
+	if spec.Rows <= 0 || spec.DistinctV <= 0 || spec.Groups <= 0 {
+		return nil, fmt.Errorf("workload: bad Q2 spec %+v", spec)
+	}
+	gcol, err := EncodeUniformDense(space, "B.G", rng, spec.Rows, 1, spec.Groups)
+	if err != nil {
+		return nil, err
+	}
+	vcol, err := EncodeUniformDense(space, "B.V", rng, spec.Rows, 1, spec.DistinctV)
+	if err != nil {
+		return nil, err
+	}
+	return &AggQuery{
+		Label:    "Q2(agg)",
+		GroupCol: gcol,
+		ValueCol: vcol,
+		spec:     spec,
+		space:    space,
+	}, nil
+}
+
+// Name identifies the query in results.
+func (q *AggQuery) Name() string { return q.Label }
+
+// Spec returns the data-set parameters.
+func (q *AggQuery) Spec() Q2Spec { return q.spec }
+
+// Global exposes the merged result table of the in-flight execution.
+func (q *AggQuery) Global() *exec.AggTable { return q.global }
+
+// LastResult returns the MAX-per-group result of the most recently
+// completed execution (nil before the first one finishes).
+func (q *AggQuery) LastResult() map[uint32]int64 { return q.lastResult }
+
+// ensureTables sizes the worker-local tables for the planned core
+// count once and reuses them across executions — their capacity, a
+// function of the group count, is the cache footprint Figure 5 sweeps.
+func (q *AggQuery) ensureTables(cores int) {
+	groups := int(q.spec.Groups)
+	if len(q.locals) != cores {
+		q.locals = make([]*exec.AggTable, cores)
+		for i := range q.locals {
+			q.locals[i] = exec.NewAggTable(q.space, fmt.Sprintf("B.agg.local%d", i), groups)
+		}
+	}
+	if q.global == nil {
+		q.global = exec.NewAggTable(q.space, "B.agg.global", groups)
+	}
+}
+
+// PrewarmRegions declares the aggregation's steady-state working set:
+// the value dictionary and the hash tables.
+func (q *AggQuery) PrewarmRegions(cores int) []memory.Region {
+	q.ensureTables(cores)
+	regions := []memory.Region{q.ValueCol.Dict.Region()}
+	for _, lt := range q.locals {
+		regions = append(regions, lt.Region())
+	}
+	regions = append(regions, q.global.Region())
+	return regions
+}
+
+// Plan builds one execution: a cache-sensitive local aggregation phase
+// and a merge phase.
+func (q *AggQuery) Plan(cores int, rng *rand.Rand) ([]engine.Phase, error) {
+	q.ensureTables(cores)
+	parts := engine.PartitionRows(q.GroupCol.Rows(), cores)
+	locals := make([]exec.Kernel, 0, len(parts))
+	for i, p := range parts {
+		q.locals[i].Clear()
+		k, err := exec.NewAggLocal(q.GroupCol, q.ValueCol, p[0], p[1], q.locals[i])
+		if err != nil {
+			return nil, err
+		}
+		locals = append(locals, k)
+	}
+	// A non-empty global table is the previous execution's completed
+	// result; snapshot it before clearing for the next run.
+	if q.global.Len() > 0 {
+		q.lastResult = make(map[uint32]int64, q.global.Len())
+		q.global.Each(func(k uint32, v int64) { q.lastResult[k] = v })
+	}
+	q.global.Clear()
+	// Parallel merge: each worker folds its own local table into the
+	// shared global table (virtual-time execution serialises the
+	// updates deterministically).
+	merges := make([]exec.Kernel, 0, len(parts))
+	for i := range parts {
+		merges = append(merges, exec.NewAggMerge([]*exec.AggTable{q.locals[i]}, q.global))
+	}
+	return []engine.Phase{
+		{
+			Name:      "aggregate-local",
+			CUID:      core.Sensitive,
+			Kernels:   locals,
+			CountRows: true,
+		},
+		{
+			Name:    "aggregate-merge",
+			CUID:    core.Sensitive,
+			Kernels: merges,
+		},
+	}, nil
+}
+
+// Q3Spec describes the foreign-key join data set. Keys is the primary
+// key cardinality N (bit vector of N bits); ProbeRows foreign keys are
+// scanned per execution. BuildRows primary-key rows are scanned per
+// execution to maintain the paper's build:probe work ratio N : 10^9
+// under sampling (PaperProbeRows rescales that ratio; it defaults to
+// 10^9).
+type Q3Spec struct {
+	ProbeRows      int
+	Keys           int64
+	PaperKeys      int64 // unscaled N for the work ratio; defaults to Keys
+	PaperProbeRows int64 // defaults to 1e9
+}
+
+// BuildRowsPerExec computes the sampled build-side rows.
+func (s Q3Spec) BuildRowsPerExec() int {
+	paperKeys := s.PaperKeys
+	if paperKeys == 0 {
+		paperKeys = s.Keys
+	}
+	paperProbe := s.PaperProbeRows
+	if paperProbe == 0 {
+		paperProbe = 1_000_000_000
+	}
+	b := int(float64(s.ProbeRows) * float64(paperKeys) / float64(paperProbe))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// JoinQuery is Query 3: SELECT COUNT(*) FROM R, S WHERE R.P = S.F,
+// executed as a bit-vector build over R's primary keys followed by a
+// probe scan over S's foreign keys.
+type JoinQuery struct {
+	Label string
+	PKCol *column.Column
+	FKCol *column.Column
+	BV    *exec.BitVector
+	spec  Q3Spec
+}
+
+// NewQ3 generates the data set and returns the query. The bit vector
+// is fully populated at load time (every key 1..N exists in R); each
+// execution re-builds a ratio-preserving sample of it and probes all
+// foreign keys.
+func NewQ3(space *memory.Space, rng *rand.Rand, spec Q3Spec) (*JoinQuery, error) {
+	if spec.ProbeRows <= 0 || spec.Keys <= 0 {
+		return nil, fmt.Errorf("workload: bad Q3 spec %+v", spec)
+	}
+	buildRows := spec.BuildRowsPerExec()
+	pkVals, err := DistinctInts(rng, buildRows, 1, spec.Keys)
+	if err != nil {
+		// More build rows than keys (tiny scales): fall back to the
+		// full key set shuffled.
+		pkVals, err = DistinctInts(rng, int(spec.Keys), 1, spec.Keys)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pkCol, err := column.EncodeDense(space, "R.P", pkVals, 1, spec.Keys, column.DefaultEntrySize)
+	if err != nil {
+		return nil, err
+	}
+	fkCol, err := EncodeUniformDense(space, "S.F", rng, spec.ProbeRows, 1, spec.Keys)
+	if err != nil {
+		return nil, err
+	}
+	bv, err := exec.NewBitVector(space, "R.P.bv", 1, uint64(spec.Keys))
+	if err != nil {
+		return nil, err
+	}
+	bv.SetAll()
+	return &JoinQuery{Label: "Q3(join)", PKCol: pkCol, FKCol: fkCol, BV: bv, spec: spec}, nil
+}
+
+// Name identifies the query in results.
+func (q *JoinQuery) Name() string { return q.Label }
+
+// Spec returns the data-set parameters.
+func (q *JoinQuery) Spec() Q3Spec { return q.spec }
+
+// Footprint reports the bit-vector size hint the policy's Depends
+// heuristic consumes.
+func (q *JoinQuery) Footprint() core.Footprint {
+	return core.Footprint{BitVectorBytes: q.BV.Bytes()}
+}
+
+// PrewarmRegions declares the join's steady-state working set: the bit
+// vector.
+func (q *JoinQuery) PrewarmRegions(cores int) []memory.Region {
+	return []memory.Region{q.BV.Region()}
+}
+
+// Plan builds one execution: build then probe, both under the Depends
+// identifier with the bit-vector footprint hint.
+func (q *JoinQuery) Plan(cores int, rng *rand.Rand) ([]engine.Phase, error) {
+	fp := q.Footprint()
+	buildParts := engine.PartitionRows(q.PKCol.Rows(), cores)
+	builds := make([]exec.Kernel, 0, len(buildParts))
+	for _, p := range buildParts {
+		k, err := exec.NewJoinBuild(q.PKCol, p[0], p[1], q.BV)
+		if err != nil {
+			return nil, err
+		}
+		builds = append(builds, k)
+	}
+	probeParts := engine.PartitionRows(q.FKCol.Rows(), cores)
+	probes := make([]exec.Kernel, 0, len(probeParts))
+	for _, p := range probeParts {
+		k, err := exec.NewJoinProbe(q.FKCol, p[0], p[1], q.BV)
+		if err != nil {
+			return nil, err
+		}
+		probes = append(probes, k)
+	}
+	return []engine.Phase{
+		{
+			Name:      "join-build",
+			CUID:      core.Depends,
+			Footprint: fp,
+			Kernels:   builds,
+			CountRows: true,
+		},
+		{
+			Name:      "join-probe",
+			CUID:      core.Depends,
+			Footprint: fp,
+			Kernels:   probes,
+			CountRows: true,
+		},
+	}, nil
+}

@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"cachepart/internal/cachesim"
+	"cachepart/internal/core"
+	"cachepart/internal/engine"
+	"cachepart/internal/memory"
+)
+
+func testRng() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func TestUniformInts(t *testing.T) {
+	vals := UniformInts(testRng(), 10_000, 5, 9)
+	seen := map[int64]bool{}
+	for _, v := range vals {
+		if v < 5 || v > 9 {
+			t.Fatalf("value %d out of [5,9]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("only %d distinct values", len(seen))
+	}
+}
+
+func TestDistinctInts(t *testing.T) {
+	vals, err := DistinctInts(testRng(), 100, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, v := range vals {
+		if v < 1 || v > 1000 {
+			t.Fatalf("value %d out of domain", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	// Dense fallback path.
+	all, err := DistinctInts(testRng(), 10, 1, 10)
+	if err != nil || len(all) != 10 {
+		t.Fatalf("dense sample: %v, %v", all, err)
+	}
+	// Over-ask.
+	if _, err := DistinctInts(testRng(), 11, 1, 10); err == nil {
+		t.Error("oversized sample accepted")
+	}
+}
+
+func TestZipfInts(t *testing.T) {
+	vals, err := ZipfInts(testRng(), 50_000, 1, 1000, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int64]int{}
+	for _, v := range vals {
+		if v < 1 || v > 1000 {
+			t.Fatalf("value %d out of domain", v)
+		}
+		counts[v]++
+	}
+	// Skew: the most frequent value dominates a uniform share by far.
+	if counts[1] < 10*len(vals)/1000 {
+		t.Errorf("value 1 occurs %d times — not Zipf-skewed", counts[1])
+	}
+	if _, err := ZipfInts(testRng(), 10, 5, 4, 1.5); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := ZipfInts(testRng(), 10, 1, 10, 1.0); err == nil {
+		t.Error("exponent 1 accepted")
+	}
+}
+
+func TestEncodeZipfDense(t *testing.T) {
+	space := memory.NewSpace()
+	col, err := EncodeZipfDense(space, "z", testRng(), 5000, 10, 100, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < col.Rows(); i += 101 {
+		if v := col.Value(i); v < 10 || v > 100 {
+			t.Fatalf("value %d out of domain", v)
+		}
+	}
+}
+
+func TestEncodeUniformDenseRoundTrip(t *testing.T) {
+	space := memory.NewSpace()
+	col, err := EncodeUniformDense(space, "c", testRng(), 10_000, 10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < col.Rows(); i++ {
+		v := col.Value(i)
+		if v < 10 || v > 50 {
+			t.Fatalf("row %d decodes to %d", i, v)
+		}
+	}
+}
+
+func TestQ1SpecAndPlan(t *testing.T) {
+	space := memory.NewSpace()
+	q, err := NewQ1(space, testRng(), Q1Spec{Rows: 10_000, Distinct: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name() == "" || q.Spec().Rows != 10_000 {
+		t.Error("spec lost")
+	}
+	phases, err := q.Plan(4, testRng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 1 || len(phases[0].Kernels) != 4 {
+		t.Fatalf("phases = %+v", phases)
+	}
+	if phases[0].CUID != core.Polluting {
+		t.Errorf("scan CUID = %v, want Polluting", phases[0].CUID)
+	}
+	if !phases[0].CountRows {
+		t.Error("scan rows must count")
+	}
+	if _, err := NewQ1(space, testRng(), Q1Spec{}); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestQ2PlanAndTables(t *testing.T) {
+	space := memory.NewSpace()
+	q, err := NewQ2(space, testRng(), Q2Spec{Rows: 10_000, DistinctV: 1000, Groups: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, err := q.Plan(4, testRng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 {
+		t.Fatalf("%d phases, want 2 (local+merge)", len(phases))
+	}
+	if phases[0].CUID != core.Sensitive || phases[1].CUID != core.Sensitive {
+		t.Error("aggregation must be Sensitive")
+	}
+	if !phases[0].CountRows || phases[1].CountRows {
+		t.Error("only the local phase counts rows")
+	}
+	if len(phases[1].Kernels) != 4 {
+		t.Errorf("merge kernels = %d, want one per worker", len(phases[1].Kernels))
+	}
+	// Replanning with the same core count reuses the tables.
+	regions := len(space.Regions())
+	if _, err := q.Plan(4, testRng()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(space.Regions()); got != regions {
+		t.Errorf("replanning allocated %d new regions", got-regions)
+	}
+	// Prewarm regions include dictionary and tables.
+	pw := q.PrewarmRegions(4)
+	if len(pw) != 1+4+1 {
+		t.Errorf("prewarm regions = %d, want dict+4 locals+global", len(pw))
+	}
+	if _, err := NewQ2(space, testRng(), Q2Spec{Rows: 1}); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestQ3BuildRatio(t *testing.T) {
+	// The paper's build:probe ratio N : 1e9 is preserved under
+	// sampling.
+	s := Q3Spec{ProbeRows: 1_000_000, Keys: 12_500_000, PaperKeys: 100_000_000}
+	if got := s.BuildRowsPerExec(); got != 100_000 {
+		t.Errorf("build rows = %d, want 1e5 (1e6 × 1e8/1e9)", got)
+	}
+	tiny := Q3Spec{ProbeRows: 100, Keys: 100} // defaults: PaperKeys=Keys, probe=1e9
+	if got := tiny.BuildRowsPerExec(); got != 1 {
+		t.Errorf("tiny build rows = %d, want clamp to 1", got)
+	}
+}
+
+func TestQ3PlanAndFootprint(t *testing.T) {
+	space := memory.NewSpace()
+	q, err := NewQ3(space, testRng(), Q3Spec{ProbeRows: 10_000, Keys: 1 << 16, PaperKeys: 1 << 16, PaperProbeRows: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit vector fully populated at load.
+	if got := q.BV.PopCount(); got != 1<<16 {
+		t.Errorf("bit vector has %d bits, want %d", got, 1<<16)
+	}
+	if q.Footprint().BitVectorBytes != q.BV.Bytes() {
+		t.Error("footprint mismatch")
+	}
+	phases, err := q.Plan(2, testRng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 {
+		t.Fatalf("%d phases, want build+probe", len(phases))
+	}
+	for _, ph := range phases {
+		if ph.CUID != core.Depends {
+			t.Errorf("phase %q CUID = %v, want Depends", ph.Name, ph.CUID)
+		}
+		if ph.Footprint.BitVectorBytes == 0 {
+			t.Errorf("phase %q missing footprint hint", ph.Name)
+		}
+		if !ph.CountRows {
+			t.Errorf("phase %q rows must count", ph.Name)
+		}
+	}
+	if _, err := NewQ3(space, testRng(), Q3Spec{}); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+// TestMicroQueriesRunOnEngine executes each micro query end to end on
+// a small machine and verifies progress and determinism.
+func TestMicroQueriesRunOnEngine(t *testing.T) {
+	cfg := cachesim.DefaultConfig().Scaled(64)
+	cfg.Cores = 4
+	run := func() []engine.StreamResult {
+		m, err := cachesim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol := core.DefaultPolicy(cfg.LLC.Size, cfg.LLC.Ways)
+		e, err := engine.New(m, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		space := memory.NewSpace()
+		rng := testRng()
+		q1, err := NewQ1(space, rng, Q1Spec{Rows: 200_000, Distinct: 10_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, err := NewQ2(space, rng, Q2Spec{Rows: 50_000, DistinctV: 10_000, Groups: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run([]engine.StreamSpec{
+			{Query: q1, Cores: []int{0, 1}},
+			{Query: q2, Cores: []int{2, 3}},
+		}, engine.RunOptions{Duration: 0.0005, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	if a[0].Rows == 0 || a[1].Rows == 0 {
+		t.Fatalf("no progress: %+v", a)
+	}
+	b := run()
+	for i := range a {
+		if a[i].Rows != b[i].Rows {
+			t.Errorf("stream %d non-deterministic: %d vs %d", i, a[i].Rows, b[i].Rows)
+		}
+	}
+}
+
+// TestQ2ResultCorrectUnderEngine verifies the global aggregate is the
+// true MAX per group after an engine-driven execution.
+func TestQ2ResultCorrectUnderEngine(t *testing.T) {
+	cfg := cachesim.DefaultConfig().Scaled(64)
+	cfg.Cores = 4
+	m, _ := cachesim.New(cfg)
+	e, _ := engine.New(m, core.DefaultPolicy(cfg.LLC.Size, cfg.LLC.Ways))
+	space := memory.NewSpace()
+	rng := testRng()
+	q2, err := NewQ2(space, rng, Q2Spec{Rows: 30_000, DistinctV: 5_000, Groups: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long enough for at least one complete execution.
+	if _, err := e.Run([]engine.StreamSpec{{Query: q2, Cores: []int{0, 1, 2, 3}}},
+		engine.RunOptions{Duration: 0.01, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint32]int64{}
+	for i := 0; i < q2.GroupCol.Rows(); i++ {
+		g := q2.GroupCol.Codes.Get(i)
+		v := q2.ValueCol.Value(i)
+		if cur, ok := want[g]; !ok || v > cur {
+			want[g] = v
+		}
+	}
+	got := q2.LastResult()
+	if len(got) != len(want) {
+		t.Fatalf("result groups = %d, want %d", len(got), len(want))
+	}
+	for g, wv := range want {
+		if v, ok := got[g]; !ok || v != wv {
+			t.Errorf("group %d = %d, want %d", g, v, wv)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+# Standard developer entry points. `make check` is the full gate that
+# scripts/check.sh (and CI) runs.
+
+GO ?= go
+
+.PHONY: build test lint race check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/cachelint ./...
+
+race:
+	$(GO) test -race ./internal/engine/... ./internal/cachesim/...
+
+check:
+	sh scripts/check.sh

@@ -60,13 +60,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Sweep in a fixed order so the simulated runs and the printed
+	// report are identical across invocations.
+	operators := []struct {
+		name string
+		q    cachepart.Query
+	}{
+		{"column scan", scan},
+		{"aggregation", agg},
+		{"foreign-key join", join},
+	}
 	curves := map[string][]cachepart.CurvePoint{}
-	for name, q := range map[string]cachepart.Query{
-		"column scan":      scan,
-		"aggregation":      agg,
-		"foreign-key join": join,
-	} {
-		curves[name] = sweep(q)
+	for _, op := range operators {
+		curves[op.name] = sweep(op.q)
 	}
 
 	fmt.Println("operator classification from measured curves:")

@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The loader type-checks through the source importer, which parses the
+// standard library from source; one loader is shared across tests so
+// that work happens once.
+var (
+	loaderOnce sync.Once
+	testloader *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		testloader, loaderErr = NewLoader("../..")
+	})
+	if loaderErr != nil {
+		t.Fatalf("loading module: %v", loaderErr)
+	}
+	return testloader
+}
+
+// wantEntry is one "// want" expectation parsed from a fixture.
+type wantEntry struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// parseWants extracts `// want "substring"` expectations from the
+// fixture sources. A want comment trailing a statement anchors to its
+// own line; a want comment alone on a line anchors to the line above
+// (for multi-line constructs and lines that already carry a comment).
+func parseWants(t *testing.T, loader *Loader, pkg *Package) []*wantEntry {
+	t.Helper()
+	var wants []*wantEntry
+	for _, f := range pkg.Files {
+		name := loader.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			lineNo := i + 1
+			if strings.HasPrefix(strings.TrimSpace(line), "// want ") {
+				lineNo = i
+			}
+			for {
+				rest = strings.TrimSpace(rest)
+				q, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					break
+				}
+				s, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want string %s", name, i+1, q)
+				}
+				wants = append(wants, &wantEntry{file: name, line: lineNo, substr: s})
+				rest = rest[len(q):]
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want expectations", pkg.Path)
+	}
+	return wants
+}
+
+// runGolden lints one testdata fixture with the given analyzers and
+// compares the diagnostics against the fixture's want comments.
+func runGolden(t *testing.T, fixture string, analyzers []*Analyzer) {
+	t.Helper()
+	loader := testLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("internal/lint/testdata/src", fixture))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture does not type-check: %v", terr)
+	}
+	wants := parseWants(t, loader, pkg)
+	diags := Run(loader, []*Package{pkg}, analyzers, DefaultConfig(loader.Module))
+	for _, d := range diags {
+		rendered := "[" + d.Check + "] " + d.Message
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(rendered, w.substr) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic containing %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+func TestNondeterminismGolden(t *testing.T) {
+	runGolden(t, "nondetfix", []*Analyzer{Nondeterminism})
+}
+
+func TestMaskCheckGolden(t *testing.T) {
+	runGolden(t, "maskfix", []*Analyzer{MaskCheck})
+}
+
+func TestCUIDGolden(t *testing.T) {
+	runGolden(t, "cuidfix", []*Analyzer{CUIDCheck})
+}
+
+func TestErrCheckGolden(t *testing.T) {
+	runGolden(t, "errfix", []*Analyzer{ErrCheck})
+}
+
+func TestLockSafetyGolden(t *testing.T) {
+	runGolden(t, "lockfix", []*Analyzer{LockSafety})
+}
+
+func TestDirectiveValidationGolden(t *testing.T) {
+	// Directive problems are emitted by Run itself, before any
+	// analyzer; an empty analyzer list isolates them.
+	runGolden(t, "directivefix", nil)
+}
+
+// TestRepoIsClean runs every analyzer over the whole module and
+// requires zero diagnostics — the same gate cmd/cachelint enforces in
+// scripts/check.sh.
+func TestRepoIsClean(t *testing.T) {
+	loader := testLoader(t)
+	dirs, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	for _, d := range Run(loader, pkgs, Analyzers(), DefaultConfig(loader.Module)) {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestExpandSkipsTestdata(t *testing.T) {
+	loader := testLoader(t)
+	dirs, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no packages found")
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("Expand returned testdata directory %s", d)
+		}
+	}
+}
+
+func TestMaskBitsProblem(t *testing.T) {
+	cases := []struct {
+		mask uint64
+		want string // substring of the message, "" for clean
+	}{
+		{0x1, ""},
+		{0x3, ""},
+		{0xff, ""},
+		{0xffffffff, ""},
+		{0xc, ""},                     // contiguous run away from bit 0
+		{0x0, "empty capacity mask"},  // no ways
+		{0x5, "non-contiguous"},       // hole in the run
+		{0x9, "non-contiguous"},       //
+		{0x1_0000_0001, "32-way"},     // exceeds the register width
+		{0xffffffff00, "32-way"},      //
+		{0xa0, "non-contiguous"},      //
+		{1<<31 | 1, "non-contiguous"}, // ends touching both edges
+	}
+	for _, c := range cases {
+		got := maskBitsProblem(c.mask)
+		if c.want == "" && got != "" {
+			t.Errorf("maskBitsProblem(%#x) = %q, want clean", c.mask, got)
+		}
+		if c.want != "" && !strings.Contains(got, c.want) {
+			t.Errorf("maskBitsProblem(%#x) = %q, want substring %q", c.mask, got, c.want)
+		}
+	}
+}
+
+func TestSchemataProblem(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"L3:0=fffff", ""},
+		{"L3:0=3", ""},
+		{" L3:0=ff ", ""},
+		{"L3:0=0", "empty capacity mask"},
+		{"L3:0=5", "non-contiguous"},
+		{"L3:0=zz", "malformed hex mask"},
+		{"MB:0=50", "must start with"},
+		{"L3:1=ff", "no clause for cache id 0"},
+	}
+	for _, c := range cases {
+		got := schemataProblem(c.in)
+		if c.want == "" && got != "" {
+			t.Errorf("schemataProblem(%q) = %q, want clean", c.in, got)
+		}
+		if c.want != "" && !strings.Contains(got, c.want) {
+			t.Errorf("schemataProblem(%q) = %q, want substring %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Check: "nondet", Message: "msg"}
+	d.Pos.Filename = "a/b.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	if got, want := d.String(), "a/b.go:3:7: [nondet] msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+	"slices"
+)
+
+// LockSafety complements go vet's copylocks with two domain rules for
+// the concurrent layers (resctrl is shared by every worker; the
+// harness fans experiments out across goroutines):
+//
+//   - no sync.Mutex, RWMutex, WaitGroup, Once, Cond, Pool, or Map may
+//     be received, passed, returned, or range-copied by value — a
+//     copied lock guards nothing;
+//   - no lock may be held across a blocking channel operation (send,
+//     receive, select, range over a channel): a worker parked on a
+//     channel while holding the resctrl mutex stalls every mask write
+//     in the system.
+//
+// The channel rule is a straight-line approximation over each
+// function body: Lock() adds the receiver to the held set, Unlock()
+// removes it, defer Unlock() keeps it held to the end, and any
+// channel operation while the set is non-empty is reported. Function
+// literals are scanned as separate bodies.
+var LockSafety = &Analyzer{
+	Name: "locks",
+	Doc:  "no locks copied by value; no lock held across a blocking channel op",
+	Run:  runLockSafety,
+}
+
+// syncNoCopyTypes are the sync types whose values must not be copied.
+var syncNoCopyTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+func runLockSafety(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if obj, ok := info.Defs[n.Name].(*types.Func); ok {
+					checkSignatureCopies(p, n, obj.Type().(*types.Signature))
+				}
+				if n.Body != nil {
+					scanHeldLocks(p, n.Body.List, make(map[string]bool))
+				}
+			case *ast.FuncLit:
+				if sig, ok := info.TypeOf(n).(*types.Signature); ok {
+					checkSignatureCopies(p, n, sig)
+				}
+				scanHeldLocks(p, n.Body.List, make(map[string]bool))
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				if t := info.TypeOf(n.Value); t != nil {
+					if name := containsLock(t); name != "" {
+						p.Reportf(n.Value.Pos(), "range copies a value containing %s; iterate by index or use pointers", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSignatureCopies reports receiver, parameter, and result types
+// that copy a lock by value.
+func checkSignatureCopies(p *Pass, fn ast.Node, sig *types.Signature) {
+	pos := fn.Pos()
+	if recv := sig.Recv(); recv != nil {
+		if name := containsLock(recv.Type()); name != "" {
+			p.Reportf(pos, "method receiver copies a value containing %s; use a pointer receiver", name)
+		}
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		v := sig.Params().At(i)
+		if name := containsLock(v.Type()); name != "" {
+			p.Reportf(v.Pos(), "parameter %q copies a value containing %s; pass a pointer", v.Name(), name)
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		v := sig.Results().At(i)
+		if name := containsLock(v.Type()); name != "" {
+			rpos := v.Pos()
+			if !rpos.IsValid() {
+				rpos = pos
+			}
+			p.Reportf(rpos, "result copies a value containing %s; return a pointer", name)
+		}
+	}
+}
+
+// containsLock reports the sync type a value of type t would copy, or
+// "". Pointers, slices, maps, and channels share their referent and
+// are fine; structs and arrays are searched recursively.
+func containsLock(t types.Type) string {
+	return containsLockSeen(t, make(map[types.Type]bool))
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if pkgPathOf(obj) == "sync" && syncNoCopyTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := containsLockSeen(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(u.Elem(), seen)
+	}
+	return ""
+}
+
+// scanHeldLocks walks statements in source order tracking which locks
+// are held, reporting channel operations that occur under a lock.
+// Nested blocks share the held set (a flow-insensitive
+// approximation); function literals are skipped here because they are
+// scanned as independent bodies.
+func scanHeldLocks(p *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		scanHeldStmt(p, s, held)
+	}
+}
+
+func scanHeldStmt(p *Pass, s ast.Stmt, held map[string]bool) {
+	info := p.Pkg.Info
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if recv, op, ok := lockCall(info, s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[recv] = true
+			case "Unlock", "RUnlock":
+				delete(held, recv)
+			}
+			return
+		}
+		reportChanOps(p, s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the rest of the
+		// body; any other defer is inspected for channel operands.
+		if _, op, ok := lockCall(info, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			return
+		}
+		reportChanOps(p, s.Call, held)
+	case *ast.GoStmt:
+		// A spawned goroutine blocks itself, not the lock holder;
+		// its body is scanned separately. Argument expressions are
+		// evaluated here, though.
+		for _, arg := range s.Call.Args {
+			reportChanOps(p, arg, held)
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			p.Reportf(s.Arrow, "channel send while holding %s; a blocked send would hold the lock indefinitely", heldNames(held))
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			p.Reportf(s.Pos(), "select while holding %s; a blocked select would hold the lock indefinitely", heldNames(held))
+			return
+		}
+		for _, clause := range s.Body.List {
+			if comm, ok := clause.(*ast.CommClause); ok {
+				scanHeldLocks(p, comm.Body, held)
+			}
+		}
+	case *ast.RangeStmt:
+		if t := info.TypeOf(s.X); t != nil && len(held) > 0 {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				p.Reportf(s.Pos(), "range over a channel while holding %s; a quiet channel would hold the lock indefinitely", heldNames(held))
+				return
+			}
+		}
+		scanHeldLocks(p, s.Body.List, held)
+	case *ast.BlockStmt:
+		scanHeldLocks(p, s.List, held)
+	case *ast.IfStmt:
+		if s.Cond != nil {
+			reportChanOps(p, s.Cond, held)
+		}
+		scanHeldStmt(p, s.Body, held)
+		if s.Else != nil {
+			scanHeldStmt(p, s.Else, held)
+		}
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			reportChanOps(p, s.Cond, held)
+		}
+		scanHeldLocks(p, s.Body.List, held)
+	case *ast.SwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				scanHeldLocks(p, cc.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				scanHeldLocks(p, cc.Body, held)
+			}
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			reportChanOps(p, rhs, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			reportChanOps(p, r, held)
+		}
+	case *ast.DeclStmt:
+		if len(held) > 0 {
+			reportChanOps(p, s, held)
+		}
+	case *ast.LabeledStmt:
+		scanHeldStmt(p, s.Stmt, held)
+	}
+}
+
+// lockCall matches expressions of the form recv.Lock / recv.Unlock /
+// recv.RLock / recv.RUnlock where the method is defined in package
+// sync (including promoted methods of embedded locks), returning a
+// stable key for the receiver.
+func lockCall(info *types.Info, e ast.Expr) (recv, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || pkgPathOf(fn) != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// reportChanOps reports channel sends and receives inside an
+// expression or statement subtree when locks are held, skipping
+// function literals.
+func reportChanOps(p *Pass, root ast.Node, held map[string]bool) {
+	if len(held) == 0 || root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				p.Reportf(n.Pos(), "channel receive while holding %s; a quiet channel would hold the lock indefinitely", heldNames(held))
+			}
+		case *ast.SendStmt:
+			p.Reportf(n.Arrow, "channel send while holding %s; a blocked send would hold the lock indefinitely", heldNames(held))
+		}
+		return true
+	})
+}
+
+// heldNames renders the held-lock set for messages, smallest key
+// first so output is deterministic.
+func heldNames(held map[string]bool) string {
+	names := slices.Sorted(maps.Keys(held))
+	if len(names) > 1 {
+		return names[0] + " (and others)"
+	}
+	return names[0]
+}

@@ -1,0 +1,60 @@
+package lint
+
+import "sort"
+
+// Analyzers returns every domain analyzer in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Nondeterminism,
+		MaskCheck,
+		CUIDCheck,
+		ErrCheck,
+		LockSafety,
+	}
+}
+
+// Run executes the analyzers over the packages and returns the
+// surviving diagnostics sorted by position. Type-check failures and
+// malformed //lint:allow directives are reported as diagnostics of the
+// pseudo-checks "typecheck" and "directive".
+func Run(loader *Loader, pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			diags = append(diags, Diagnostic{
+				Pos:     terr.Fset.Position(terr.Pos),
+				Check:   "typecheck",
+				Message: terr.Msg,
+			})
+		}
+		diags = append(diags, pkg.directiveProblems(known)...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Config:   cfg,
+				Fset:     loader.Fset,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].less(diags[j]) })
+	return dedup(diags)
+}
+
+// dedup drops exact duplicate diagnostics (a file shared between
+// passes, or the same node reported through two paths).
+func dedup(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i == 0 || d != diags[i-1] {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+// Package cuidfix is a golden-test fixture for the cuid analyzer.
+package cuidfix
+
+import (
+	"cachepart/internal/core"
+	"cachepart/internal/engine"
+)
+
+func explicit() engine.Phase {
+	return engine.Phase{Name: "scan", CUID: core.Polluting} // clean
+}
+
+func explicitDefault() engine.Phase {
+	return engine.Phase{Name: "merge", CUID: core.Sensitive} // spelling out the default class: clean
+}
+
+func missing() engine.Phase {
+	return engine.Phase{Name: "scan"} // want "job phase \"scan\" lacks an explicit CUID"
+}
+
+func missingNested() []engine.Phase {
+	return []engine.Phase{
+		{Name: "build", CUID: core.Depends},
+		{Name: "probe"}, // want "job phase \"probe\" lacks an explicit CUID"
+	}
+}
+
+func anonymous() engine.Phase {
+	return engine.Phase{} // want "job-phase literal lacks an explicit CUID"
+}
+
+func allowed() engine.Phase {
+	return engine.Phase{Name: "merge"} //lint:allow cuid fixture exercises the escape hatch
+}

@@ -1,0 +1,35 @@
+// Package errfix is a golden-test fixture for the errcheck analyzer.
+package errfix
+
+import (
+	"fmt"
+	"os"
+
+	"cachepart/internal/resctrl"
+)
+
+func discarded(fs *resctrl.FS) {
+	fs.MoveTask(1, "g") // want "call discards the error from resctrl.MoveTask"
+	os.Remove("/tmp/x") // want "call discards the error from os.Remove"
+}
+
+func handled(fs *resctrl.FS) error {
+	if err := fs.MoveTask(1, "g"); err != nil {
+		return fmt.Errorf("move: %w", err)
+	}
+	_ = os.Remove("/tmp/x") // explicit discard stays visible in review: clean
+	return nil
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want "deferred call discards the error from os.Close"
+	fmt.Println("working")
+}
+
+func spawned(fs *resctrl.FS) {
+	go fs.MoveTask(1, "g") // want "go statement call discards the error from resctrl.MoveTask"
+}
+
+func allowedDiscard(fs *resctrl.FS) {
+	fs.MoveTask(1, "g") //lint:allow errcheck fixture exercises the escape hatch
+}

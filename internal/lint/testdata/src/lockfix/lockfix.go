@@ -1,0 +1,62 @@
+// Package lockfix is a golden-test fixture for the locks analyzer.
+package lockfix
+
+import "sync"
+
+type guarded struct {
+	mu    sync.Mutex
+	count int
+}
+
+func byValue(g guarded) int { // want "parameter \"g\" copies a value containing sync.Mutex"
+	return g.count
+}
+
+func byPointer(g *guarded) int { // pointers share the lock: clean
+	return g.count
+}
+
+func (g guarded) valueReceiver() int { // want "method receiver copies a value containing sync.Mutex"
+	return g.count
+}
+
+func rangeCopy(gs []guarded) int {
+	n := 0
+	for _, g := range gs { // want "range copies a value containing sync.Mutex"
+		n += g.count
+	}
+	return n
+}
+
+func rangeByIndex(gs []guarded) int {
+	n := 0
+	for i := range gs { // indexing shares the lock: clean
+		n += gs[i].count
+	}
+	return n
+}
+
+func heldAcrossSend(g *guarded, ch chan int) {
+	g.mu.Lock()
+	ch <- g.count // want "channel send while holding g.mu"
+	g.mu.Unlock()
+}
+
+func releasedBeforeSend(g *guarded, ch chan int) {
+	g.mu.Lock()
+	n := g.count
+	g.mu.Unlock()
+	ch <- n // lock released first: clean
+}
+
+func deferredUnlock(g *guarded, ch chan int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.count + <-ch // want "channel receive while holding g.mu"
+}
+
+func allowedSend(g *guarded, ch chan int) {
+	g.mu.Lock()
+	ch <- g.count //lint:allow locks fixture exercises the escape hatch
+	g.mu.Unlock()
+}

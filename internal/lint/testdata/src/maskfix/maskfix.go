@@ -1,0 +1,36 @@
+// Package maskfix is a golden-test fixture for the maskcheck analyzer.
+package maskfix
+
+import (
+	"cachepart/internal/cat"
+	"cachepart/internal/resctrl"
+)
+
+var bad = cat.WayMask(0x5)  // want "non-contiguous capacity mask 0x5"
+var empty cat.WayMask       // zero value never spelled out: clean
+var zeroed cat.WayMask = 0  // want "empty capacity mask"
+var good = cat.WayMask(0x3) // two contiguous ways: clean
+var full = ^cat.WayMask(0)  // all 32 ways: contiguous, clean
+
+func program(r *cat.Registers) {
+	_ = r.SetMask(0, 0)   // want "empty capacity mask"
+	_ = r.SetMask(1, 0x9) // want "non-contiguous capacity mask 0x9"
+	_ = r.SetMask(2, 0x7) // three contiguous ways: clean
+	_ = r.SetMask(3, cat.FullMask(20))
+	allowed := cat.WayMask(0x15) //lint:allow maskcheck fixture exercises the escape hatch
+	_ = allowed
+}
+
+func isEmpty(m cat.WayMask) bool {
+	return m == 0 // comparisons tolerate the zero sentinel: clean
+}
+
+func sentinel() cat.WayMask {
+	return 0 // zero returns are error-path sentinels: clean
+}
+
+func schemata(fs *resctrl.FS) {
+	_, _ = resctrl.ParseSchemata("L3:0=5", 20)  // want "non-contiguous capacity mask 0x5"
+	_, _ = resctrl.ParseSchemata("L3:0=ff", 20) // eight contiguous ways: clean
+	_ = fs.WriteSchemata("g", "L3:0=0")         // want "empty capacity mask"
+}

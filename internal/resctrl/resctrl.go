@@ -230,8 +230,8 @@ func (fs *FS) Writes() int {
 // whitespace-separated or semicolon-separated domain clauses are
 // accepted, but only cache id 0 is meaningful on the single-socket
 // machine the paper uses.
-func ParseSchemata(s string, ways int) (cat.WayMask, error) {
-	s = strings.TrimSpace(s)
+func ParseSchemata(schemata string, ways int) (cat.WayMask, error) {
+	s := strings.TrimSpace(schemata)
 	rest, ok := strings.CutPrefix(s, "L3:")
 	if !ok {
 		return 0, fmt.Errorf("resctrl: schemata %q must start with \"L3:\"", s)

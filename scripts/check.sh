@@ -1,0 +1,25 @@
+#!/bin/sh
+# check.sh — the repository's full verification gate: compile, vet,
+# domain lint (cachelint), unit tests, and the race detector over the
+# concurrent layers. Run from anywhere inside the module; CI and
+# pre-merge reviews run exactly this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== go run ./cmd/cachelint ./...'
+go run ./cmd/cachelint ./...
+
+echo '== go test ./...'
+go test ./...
+
+echo '== go test -race (engine, cachesim)'
+go test -race ./internal/engine/... ./internal/cachesim/...
+
+echo 'check.sh: all gates passed'

@@ -308,6 +308,31 @@ func BenchmarkFig1(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveVsStatic — the Figure 9(b) co-run under no
+// partitioning, the paper's static scheme, and the online feedback
+// controller with annotations stripped: the controller must recover
+// most of the static gain without being told which query is the scan.
+func BenchmarkAdaptiveVsStatic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := FigAdapt(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			shared, _ := r.Blind.Arm("shared")
+			static, _ := r.Annotated.Arm("static")
+			adaptive, _ := r.Blind.Arm("adaptive")
+			b.ReportMetric(shared.NormB, "norm_none")
+			b.ReportMetric(static.NormB, "norm_static")
+			b.ReportMetric(adaptive.NormB, "norm_adaptive")
+			if shared.NormB > 0 {
+				b.ReportMetric(static.NormB/shared.NormB, "gain_static")
+				b.ReportMetric(adaptive.NormB/shared.NormB, "gain_adaptive")
+			}
+		}
+	}
+}
+
 // BenchmarkMaskWrite measures the engine's CUID-to-mask path (the
 // Section V-C overhead concern): one task move plus scheduler update.
 func BenchmarkMaskWrite(b *testing.B) {

@@ -20,7 +20,13 @@
 //   - the paper's full evaluation: micro-benchmark sweeps (Figures
 //     4-6), concurrent workloads (Figures 9-10), TPC-H co-runs
 //     (Figure 11) and the S/4HANA OLTP experiments (Figures 1 and 12)
-//     (internal/harness, internal/workload).
+//     (internal/harness, internal/workload);
+//
+//   - an online feedback controller that reprograms the CAT masks from
+//     cache-occupancy and memory-bandwidth telemetry every control
+//     epoch — the dynamic counterpart of the static scheme, for
+//     workloads whose annotations are missing or wrong
+//     (internal/adapt; attach with System.EnableAdaptive).
 //
 // Quickstart:
 //
@@ -42,6 +48,7 @@ package cachepart
 import (
 	"math/rand"
 
+	"cachepart/internal/adapt"
 	"cachepart/internal/cachesim"
 	"cachepart/internal/cat"
 	"cachepart/internal/column"
@@ -104,6 +111,30 @@ type (
 	MachineConfig = cachesim.Config
 	// CoreStats are the simulator's per-core performance counters.
 	CoreStats = cachesim.CoreStats
+
+	// AdaptConfig configures the online feedback controller; attach one
+	// with System.EnableAdaptive, detach with System.DisableAdaptive.
+	AdaptConfig = adapt.Config
+	// AdaptController is an attached controller: it exposes the mask
+	// transition log, schemata-write count and per-stream classes.
+	AdaptController = adapt.Controller
+	// AdaptTransition is one recorded mask reprogramming.
+	AdaptTransition = adapt.Transition
+	// AdaptClass is the controller's behavioural classification of a
+	// stream.
+	AdaptClass = adapt.Class
+	// AdaptResult is the adaptive-vs-static experiment: the Figure 9(b)
+	// co-run under no partitioning, the static scheme and the online
+	// controller, annotated and blind.
+	AdaptResult = harness.AdaptResult
+)
+
+// The controller's stream classes.
+const (
+	AdaptUnknown        = adapt.Unknown
+	AdaptNeutral        = adapt.Neutral
+	AdaptCacheSensitive = adapt.CacheSensitive
+	AdaptStreaming      = adapt.Streaming
 )
 
 // Cache usage identifiers (Section V-C of the paper).
@@ -129,6 +160,18 @@ func FastParams() Params { return harness.Fast() }
 // NewSystem builds a simulated system at the requested scale with
 // partitioning initially disabled.
 func NewSystem(p Params) (*System, error) { return harness.NewSystem(p) }
+
+// DefaultAdaptConfig returns the online controller's defaults: 100 µs
+// control epochs, streaming above 3.5 % of the machine's DRAM
+// bandwidth per worker core, two-epoch hysteresis, backed-off probation, and the
+// beneficiary rule that never confines an isolated query.
+func DefaultAdaptConfig() AdaptConfig { return adapt.DefaultConfig() }
+
+// Unannotated wraps a query with its CUID annotations stripped: every
+// phase reports the unannotated default. Under the static policy such
+// a query is never confined; under the adaptive controller telemetry
+// alone must classify it.
+func Unannotated(q Query) Query { return harness.Unannotated(q) }
 
 // DefaultPolicy returns the paper's partitioning scheme for an LLC
 // geometry: polluting jobs 10%, sensitive jobs 100%, joins 10% or 60%
@@ -261,4 +304,10 @@ var (
 	Fig12 = harness.Fig12
 	// FigProjSweep is the Section VI-E projected-columns sweep.
 	FigProjSweep = harness.FigProjSweep
+	// FigAdapt co-runs scan and aggregation under no partitioning, the
+	// static scheme and the online controller — annotated and blind —
+	// with the default controller configuration; FigAdaptConfig takes
+	// an explicit one.
+	FigAdapt       = harness.FigAdapt
+	FigAdaptConfig = harness.FigAdaptConfig
 )

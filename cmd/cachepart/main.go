@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|all>
+//	cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|adapt|all>
 //
 // Flags tune the machine scale, core count and the simulated
 // measurement window; see -help.
@@ -35,7 +35,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|adapt|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -104,9 +104,11 @@ func main() {
 		err = runDerive(p)
 	case "cosched":
 		err = runCoSched(p)
+	case "adapt":
+		err = runAdapt(p)
 	case "all":
 		for _, f := range []func(harness.Params) error{
-			runFig4, runFig5, runFig6, runFig9, runFig10, runFig11, runFig12, runFig1, runProj, runDerive, runCoSched,
+			runFig4, runFig5, runFig6, runFig9, runFig10, runFig11, runFig12, runFig1, runProj, runDerive, runCoSched, runAdapt,
 		} {
 			if err = f(p); err != nil {
 				break
@@ -210,6 +212,24 @@ func runProj(p harness.Params) error {
 	}
 	harness.PrintPairRows(os.Stdout,
 		"Section VI-E sweep — OLTP benefit vs. projected columns (A=scan, B=OLTP)", rows)
+	return nil
+}
+
+// runAdapt contrasts the static scheme with the online feedback
+// controller on the Figure 9(b) co-run, with correct annotations and
+// with annotations stripped (where only the controller can tell the
+// scan from the aggregation).
+func runAdapt(p harness.Params) error {
+	r, err := harness.FigAdapt(p)
+	if err != nil {
+		return err
+	}
+	harness.PrintPairRows(os.Stdout,
+		"Adaptive controller — scan ∥ aggregation, annotated (A=scan, B=aggregation)",
+		[]harness.PairRow{r.Annotated})
+	harness.PrintPairRows(os.Stdout,
+		"Adaptive controller — scan ∥ aggregation, annotations stripped (A=scan, B=aggregation)",
+		[]harness.PairRow{r.Blind})
 	return nil
 }
 

@@ -1,0 +1,307 @@
+package adapt
+
+import (
+	"fmt"
+
+	"cachepart/internal/cat"
+	"cachepart/internal/core"
+	"cachepart/internal/engine"
+	"cachepart/internal/resctrl"
+)
+
+// Controller implements engine.Controller: one resctrl monitoring
+// group per stream, sampled and reclassified every control epoch.
+// Build one with Attach; all methods are driven from the engine's
+// serial scheduling loop and must not be called concurrently.
+type Controller struct {
+	fs     *resctrl.FS
+	win    *resctrl.MonWindow
+	cfg    Config
+	policy core.Policy
+
+	ways     int
+	llcBytes uint64
+	// peakBytesPerSecond is the machine's DRAM bandwidth, the yardstick
+	// for the streaming classification.
+	peakBytesPerSecond float64
+
+	streams []streamState
+	history []Transition
+	writes  int
+}
+
+// Attach builds a controller over the engine's resctrl mount and
+// machine geometry and attaches it. The engine then calls the
+// controller back every cfg.EpochSeconds of simulated time; detach
+// with e.DetachController().
+func Attach(e *engine.Engine, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := e.Policy()
+	c := &Controller{
+		fs:                 e.FS(),
+		win:                resctrl.NewMonWindow(e.FS()),
+		cfg:                cfg,
+		policy:             p,
+		ways:               p.LLCWays,
+		llcBytes:           p.LLCBytes,
+		peakBytesPerSecond: e.Machine().Config().DRAMBandwidth,
+	}
+	if err := e.AttachController(c, cfg.EpochSeconds); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// groupName names the monitoring/control group of a stream.
+func groupName(stream int) string { return fmt.Sprintf("adapt%d", stream) }
+
+// BeginRun sets up one control group per stream — giving each stream
+// its own CLOS and therefore its own CMT/MBM counters — programs them
+// all to the full mask, and forgets any state from the previous run.
+func (c *Controller) BeginRun(streams []engine.StreamInfo) error {
+	c.streams = make([]streamState, len(streams))
+	c.history = nil
+	c.writes = 0
+	c.win.Reset()
+	full := cat.FullMask(c.ways)
+	for i := range c.streams {
+		st := &c.streams[i]
+		st.group = groupName(i)
+		st.cores = streams[i].Cores
+		if st.cores < 1 {
+			st.cores = 1
+		}
+		st.class = Unknown
+		st.prevClass = Unknown
+		st.lastHint = Unknown
+		st.pending = Unknown
+		st.nextTrial = c.cfg.TrialInterval
+		if _, err := c.fs.Mask(st.group); err != nil {
+			// First run on this mount: the group does not exist yet.
+			if err := c.fs.MakeGroup(st.group); err != nil {
+				return err
+			}
+		}
+		if _, err := c.program(st, full); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GroupFor routes every job of a stream into the stream's group. A
+// changed annotation re-seeds the stream's class on the spot — the
+// phase boundary is exactly when behaviour is announced to change —
+// while a repeated annotation is left to telemetry.
+func (c *Controller) GroupFor(stream int, cuid core.CUID, fp core.Footprint) (string, error) {
+	if stream < 0 || stream >= len(c.streams) {
+		return "", fmt.Errorf("adapt: stream %d out of range (run has %d)",
+			stream, len(c.streams))
+	}
+	st := &c.streams[stream]
+	if c.cfg.UseCUIDHints {
+		if hint := c.hintClass(cuid, fp); hint != st.lastHint {
+			st.lastHint = hint
+			if hint != Unknown && hint != st.class && st.trialLeft == 0 {
+				from := st.class
+				st.class = hint
+				st.pending = hint
+				st.streak = 0
+				st.sinceTrial = 0
+				st.nextTrial = c.cfg.TrialInterval
+				if err := c.apply(st, stream, -1, from, false); err != nil {
+					return "", err
+				}
+			}
+		}
+	}
+	return st.group, nil
+}
+
+// OnEpoch advances the control loop by one epoch: first every stream
+// is sampled and (re)classified, then every mask is re-planned — the
+// split matters because a stream's mask depends on the *other*
+// streams' classes through the beneficiary rule.
+func (c *Controller) OnEpoch(epoch int) error {
+	for i := range c.streams {
+		if err := c.observe(&c.streams[i], i, epoch); err != nil {
+			return err
+		}
+	}
+	for i := range c.streams {
+		st := &c.streams[i]
+		if st.trialLeft > 0 {
+			continue // probation holds the full mask
+		}
+		trial := st.trialEnded
+		st.trialEnded = false
+		if err := c.apply(st, i, epoch, st.prevClass, trial); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observe samples one stream and advances its classification state.
+func (c *Controller) observe(st *streamState, stream, epoch int) error {
+	d, err := c.win.Sample(st.group)
+	if err != nil {
+		return err
+	}
+	obs := c.classify(d, st.cores)
+
+	if st.trialLeft > 0 {
+		// Probation: the mask is temporarily full; any epoch observed
+		// below the streaming threshold clears the stream.
+		st.trialLeft--
+		if obs != Streaming {
+			st.trialObs = obs
+		}
+		if st.trialLeft == 0 {
+			st.sinceTrial = 0
+			if st.trialObs != Unknown {
+				// The stream stopped streaming the moment it got cache
+				// back: it was thrashing, not scanning. Commit the
+				// class observed under the full mask and restart
+				// probation from the base interval.
+				st.class = st.trialObs
+				st.pending = st.trialObs
+				st.streak = 0
+				st.nextTrial = c.cfg.TrialInterval
+			} else {
+				// Still streaming with the whole cache on offer:
+				// confine it again and back off the next probation.
+				st.trialEnded = true
+				st.nextTrial = int(float64(st.nextTrial) * c.cfg.TrialBackoff)
+				if st.nextTrial > c.cfg.TrialIntervalMax {
+					st.nextTrial = c.cfg.TrialIntervalMax
+				}
+			}
+		}
+		return nil
+	}
+
+	// Debounced reclassification.
+	switch {
+	case obs == st.class:
+		st.streak = 0
+		st.pending = obs
+	case obs == st.pending:
+		st.streak++
+	default:
+		st.pending = obs
+		st.streak = 1
+	}
+	if obs != st.class && st.streak >= c.cfg.Hysteresis {
+		st.class = obs
+		st.streak = 0
+		st.sinceTrial = 0
+		st.nextTrial = c.cfg.TrialInterval
+	}
+
+	// Schedule probation for streams that are actually confined; an
+	// unconfined streaming stream (no beneficiary) has nothing to
+	// probe.
+	if st.class == Streaming {
+		cur, err := c.fs.Mask(st.group)
+		if err != nil {
+			return err
+		}
+		if cur == c.maskFor(Streaming, true) {
+			st.sinceTrial++
+			if st.sinceTrial >= st.nextTrial {
+				st.sinceTrial = 0
+				st.trialLeft = c.cfg.TrialLength
+				st.trialObs = Unknown
+				written, err := c.program(st, cat.FullMask(c.ways))
+				if err != nil {
+					return err
+				}
+				c.record(Transition{Epoch: epoch, Stream: stream, From: st.class,
+					To: st.class, Mask: cat.FullMask(c.ways), Trial: true, Written: written})
+			}
+		}
+	}
+	return nil
+}
+
+// beneficiary reports whether confining stream i would protect
+// anyone: some other stream must hold (or, while still unclassified,
+// may hold) a working set in the cache. Without a beneficiary the
+// controller leaves even streaming streams unconfined — confinement
+// costs the stream a little (prefetched lines evict each other in a
+// narrow slice) and buys nothing. Disabled via RequireBeneficiary.
+func (c *Controller) beneficiary(i int) bool {
+	if !c.cfg.RequireBeneficiary {
+		return true
+	}
+	for j := range c.streams {
+		if j == i {
+			continue
+		}
+		if cl := c.streams[j].class; cl == CacheSensitive || cl == Unknown {
+			return true
+		}
+	}
+	return false
+}
+
+// apply programs the mask planned for a stream's class (elided when
+// unchanged) and records the transition; from is the stream's class
+// before this step, for the log.
+func (c *Controller) apply(st *streamState, stream, epoch int, from Class, trial bool) error {
+	mask := c.maskFor(st.class, c.beneficiary(stream))
+	written, err := c.program(st, mask)
+	if err != nil {
+		return err
+	}
+	c.record(Transition{Epoch: epoch, Stream: stream, From: from,
+		To: st.class, Mask: mask, Trial: trial, Written: written})
+	st.prevClass = st.class
+	return nil
+}
+
+// record logs a transition if it changed anything — a real schemata
+// write or a class change — trimming the history to the configured
+// bound.
+func (c *Controller) record(t Transition) {
+	if t.Written {
+		c.writes++
+	}
+	if !t.Written && t.From == t.To {
+		return
+	}
+	if c.cfg.HistoryLimit == 0 {
+		return
+	}
+	c.history = append(c.history, t)
+	if len(c.history) > c.cfg.HistoryLimit {
+		c.history = append(c.history[:0], c.history[len(c.history)-c.cfg.HistoryLimit:]...)
+	}
+}
+
+// Transitions returns the recorded mask reprogrammings of the current
+// run, oldest first (bounded by Config.HistoryLimit).
+func (c *Controller) Transitions() []Transition {
+	out := make([]Transition, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// SchemataWrites reports how many schemata writes the controller has
+// performed since BeginRun — the number elision keeps at zero across
+// quiescent epochs.
+func (c *Controller) SchemataWrites() int { return c.writes }
+
+// ClassOf reports a stream's current class.
+func (c *Controller) ClassOf(stream int) Class {
+	if stream < 0 || stream >= len(c.streams) {
+		return Unknown
+	}
+	return c.streams[stream].class
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }

@@ -1,0 +1,196 @@
+package adapt_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cachepart/internal/adapt"
+	"cachepart/internal/cachesim"
+	"cachepart/internal/cat"
+	"cachepart/internal/core"
+	"cachepart/internal/engine"
+	"cachepart/internal/exec"
+	"cachepart/internal/memory"
+)
+
+// walkKernel reads a region at line stride, wrapping around, for a
+// fixed number of rows. Over a region much larger than the LLC it
+// behaves as a scan; over a small region it is reuse-heavy.
+type walkKernel struct {
+	region memory.Region
+	pos    uint64
+	left   int
+}
+
+func (k *walkKernel) Step(ctx *exec.Ctx, budget int) (int, bool) {
+	n := budget
+	if n > k.left {
+		n = k.left
+	}
+	for i := 0; i < n; i++ {
+		ctx.Read(k.region.Addr(k.pos))
+		k.pos += memory.LineSize
+		if k.pos >= k.region.Size {
+			k.pos = 0
+		}
+		ctx.Compute(2, 2)
+	}
+	k.left -= n
+	return n, k.left == 0
+}
+
+// flipQuery alternates a streaming phase over a region far larger
+// than the LLC with a reuse phase over a small resident region —
+// the mid-query behaviour change (think join build turning into
+// probe) the controller must track. Both phases carry the default
+// annotation: the controller is blind.
+type flipQuery struct {
+	big, small memory.Region
+	streamRows int
+	reuseRows  int
+}
+
+func (q *flipQuery) Name() string { return "flip" }
+
+func (q *flipQuery) Plan(cores int, rng *rand.Rand) ([]engine.Phase, error) {
+	return []engine.Phase{
+		{
+			Name: "stream", CUID: core.Sensitive,
+			Kernels:   []exec.Kernel{&walkKernel{region: q.big, left: q.streamRows}},
+			CountRows: true,
+		},
+		{
+			Name: "reuse", CUID: core.Sensitive,
+			Kernels:   []exec.Kernel{&walkKernel{region: q.small, left: q.reuseRows}},
+			CountRows: true,
+		},
+	}, nil
+}
+
+// flipSystem builds a small machine with an attached controller tuned
+// to a fast probation cadence.
+func flipSystem(t *testing.T) (*engine.Engine, *adapt.Controller, *flipQuery) {
+	t.Helper()
+	cfg := cachesim.DefaultConfig().Scaled(32)
+	cfg.Cores = 2
+	m, err := cachesim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(m, core.DefaultPolicy(cfg.LLC.Size, cfg.LLC.Ways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg := adapt.DefaultConfig()
+	acfg.EpochSeconds = 20e-6
+	acfg.TrialInterval = 8
+	acfg.TrialLength = 3
+	acfg.TrialIntervalMax = 32
+	// The flip query runs alone; confinement itself is under test, so
+	// drop the nobody-to-protect escape.
+	acfg.RequireBeneficiary = false
+	ctrl, err := adapt.Attach(e, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llc := cfg.LLC.Size
+	space := memory.NewSpace()
+	q := &flipQuery{
+		big:        space.Alloc("flip.big", 4*llc),
+		small:      space.Alloc("flip.small", llc/4),
+		streamRows: 60_000,
+		reuseRows:  100_000,
+	}
+	return e, ctrl, q
+}
+
+// TestPhaseFlipReclassified runs the flip query under the blind
+// controller and checks that it tracks both directions: the streaming
+// phase gets confined to the narrow slice, and after the flip a
+// probation widens the mask and the reuse phase is committed
+// cache-sensitive.
+func TestPhaseFlipReclassified(t *testing.T) {
+	e, ctrl, q := flipSystem(t)
+	res, err := e.Run([]engine.StreamSpec{{Query: q, Cores: []int{0}}},
+		engine.RunOptions{Duration: 0.004, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Rows == 0 {
+		t.Fatal("flip query made no measured progress")
+	}
+
+	ways := e.Policy().LLCWays
+	full := cat.FullMask(ways)
+	narrow := cat.PortionMask(ways, ctrl.Config().StreamingWaysFraction)
+	var confines, widens, recoveries int
+	firstConfine, firstRecovery := -1, -1
+	for _, tr := range ctrl.Transitions() {
+		switch {
+		case !tr.Trial && tr.To == adapt.Streaming && tr.Mask == narrow:
+			confines++
+			if firstConfine < 0 {
+				firstConfine = tr.Epoch
+			}
+		case tr.Trial && tr.Mask == full:
+			widens++
+		case !tr.Trial && tr.To == adapt.CacheSensitive && tr.Mask == full:
+			recoveries++
+			if firstRecovery < 0 {
+				firstRecovery = tr.Epoch
+			}
+		}
+	}
+	if confines == 0 {
+		t.Fatal("streaming phase was never confined")
+	}
+	if widens == 0 {
+		t.Fatal("confined stream was never probed")
+	}
+	if recoveries == 0 {
+		t.Fatal("reuse phase was never reclassified cache-sensitive")
+	}
+	if firstRecovery >= 0 && firstConfine >= 0 && firstRecovery <= firstConfine {
+		t.Fatalf("recovery (epoch %d) before confinement (epoch %d)",
+			firstRecovery, firstConfine)
+	}
+	// The flip query alternates every execution, so the controller
+	// should confine again after recovering at least once.
+	if confines < 2 {
+		t.Fatalf("controller confined only %d time(s); never re-narrowed after recovery",
+			confines)
+	}
+	t.Logf("transitions: %d confine, %d widen, %d recover (%d writes)",
+		confines, widens, recoveries, ctrl.SchemataWrites())
+}
+
+// TestAdaptiveRunBitIdentical runs the same seeded flip workload twice
+// with a controller attached and requires identical results and an
+// identical transition log — the determinism contract extended to the
+// adaptive path.
+func TestAdaptiveRunBitIdentical(t *testing.T) {
+	run := func() ([]engine.StreamResult, []adapt.Transition) {
+		e, ctrl, q := flipSystem(t)
+		res, err := e.Run([]engine.StreamSpec{{Query: q, Cores: []int{0}}},
+			engine.RunOptions{Duration: 0.002, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, ctrl.Transitions()
+	}
+	res1, tr1 := run()
+	res2, tr2 := run()
+	if len(tr1) == 0 {
+		t.Fatal("expected controller activity")
+	}
+	assertDeepEqual(t, "results", res1, res2)
+	assertDeepEqual(t, "transitions", tr1, tr2)
+}
+
+func assertDeepEqual(t *testing.T, what string, a, b any) {
+	t.Helper()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s differ between same-seed runs:\n%+v\n%+v", what, a, b)
+	}
+}

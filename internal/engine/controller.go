@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"fmt"
+
+	"cachepart/internal/core"
+)
+
+// Controller is an online cache-partitioning controller driven by the
+// engine's virtual clock (internal/adapt implements one). While a
+// controller is attached the engine routes every job's worker into the
+// resctrl group the controller chooses instead of the static policy's
+// mask group, and invokes OnEpoch once per control epoch of simulated
+// time — the hook an adaptive scheme uses to reprogram group schemata
+// from CMT/MBM telemetry. All callbacks run inside the serial
+// virtual-time scheduling loop, so a controller needs no locking of
+// its own and its decisions are deterministic for a given seed.
+type Controller interface {
+	// BeginRun is called once per Run/RunSharedPool, directly after the
+	// machine reset and before any job placement, describing the
+	// streams about to execute — the point where the controller sets up
+	// its per-stream control groups and forgets stale telemetry.
+	// Machine counters are rewound again after prewarming; a controller
+	// sampling through resctrl.MonWindow absorbs that reset.
+	BeginRun(streams []StreamInfo) error
+	// GroupFor chooses the resctrl group for a job of the given stream.
+	// The job's CUID annotation and footprint hint are passed through
+	// as priors the controller may consult or ignore. Returning the
+	// empty string falls back to the static policy path.
+	GroupFor(stream int, cuid core.CUID, fp core.Footprint) (string, error)
+	// OnEpoch runs one control step; epoch counts from 0 within the
+	// run. Schemata writes the controller performs here are charged to
+	// the core whose progress crossed the epoch boundary.
+	OnEpoch(epoch int) error
+}
+
+// StreamInfo describes one stream of a run to a controller.
+type StreamInfo struct {
+	Name string
+	// Cores is the number of worker cores executing the stream — in
+	// shared-pool runs, the stream's fair share of the pool. Telemetry
+	// normalized per core stays comparable across machine sizes.
+	Cores int
+}
+
+// AttachController connects an online controller to the engine; during
+// runs it is called back every epochSeconds of simulated time.
+// Attaching nil detaches.
+func (e *Engine) AttachController(c Controller, epochSeconds float64) error {
+	if c != nil && epochSeconds <= 0 {
+		return fmt.Errorf("engine: control epoch %v must be positive", epochSeconds)
+	}
+	e.ctrl = c
+	e.ctrlEpochSeconds = epochSeconds
+	return nil
+}
+
+// DetachController removes the attached controller, restoring the
+// static policy path.
+func (e *Engine) DetachController() { e.ctrl = nil }
+
+// Controller reports the attached controller, nil when none.
+func (e *Engine) Controller() Controller { return e.ctrl }
+
+// epochState tracks the controller's clock within one run.
+type epochState struct {
+	ticks int64 // epoch length
+	next  int64 // next boundary
+	idx   int
+}
+
+// controllerBegin starts the controller's run, returning nil state
+// when no controller is attached.
+func (e *Engine) controllerBegin(infos []StreamInfo) (*epochState, error) {
+	if e.ctrl == nil {
+		return nil, nil
+	}
+	if err := e.ctrl.BeginRun(infos); err != nil {
+		return nil, err
+	}
+	t := e.m.Ticks(e.ctrlEpochSeconds)
+	if t < 1 {
+		t = 1
+	}
+	return &epochState{ticks: t, next: t}, nil
+}
+
+// controllerTick fires every control epoch the virtual clock has
+// crossed. Real schemata writes performed by the controller count as
+// mask writes and charge the modelled kernel-interaction overhead to
+// the core whose progress crossed the boundary, so an active
+// controller is never free while a quiescent one costs nothing.
+func (e *Engine) controllerTick(es *epochState, now int64, coreID int) error {
+	if es == nil {
+		return nil
+	}
+	for now >= es.next {
+		before := e.fs.Writes()
+		if err := e.ctrl.OnEpoch(es.idx); err != nil {
+			return err
+		}
+		if w := e.fs.Writes() - before; w > 0 {
+			e.maskWrites += w
+			if e.maskOverheadCycles > 0 {
+				e.m.Compute(coreID, int64(w)*e.maskOverheadCycles, uint64(w))
+			}
+		}
+		es.idx++
+		es.next += es.ticks
+	}
+	return nil
+}
+
+// applyJob routes a job's worker into its resctrl group: through the
+// attached controller when one is present, through the static
+// CUID→mask policy otherwise. An instance-wide way limit overrides
+// both, as in applyCUID.
+func (e *Engine) applyJob(coreID, streamIdx int, cuid core.CUID, fp core.Footprint) error {
+	if e.ctrl != nil && e.limitWays == 0 {
+		group, err := e.ctrl.GroupFor(streamIdx, cuid, fp)
+		if err != nil {
+			return err
+		}
+		if group != "" {
+			return e.placeWorker(coreID, group)
+		}
+	}
+	return e.applyCUID(coreID, cuid, fp)
+}

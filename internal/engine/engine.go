@@ -45,6 +45,12 @@ type Engine struct {
 	limitWays int
 
 	maskWrites int
+
+	// ctrl, when non-nil, replaces the static CUID→mask policy with an
+	// online controller called back every ctrlEpochSeconds of virtual
+	// time (see controller.go).
+	ctrl             Controller
+	ctrlEpochSeconds float64
 }
 
 // New builds an engine over a machine with the given policy.
@@ -147,9 +153,7 @@ func (e *Engine) groupFor(mask cat.WayMask) (string, error) {
 
 // applyCUID prepares a core's worker for a job with the given
 // identifier: choose the mask, move the TID into the mask's group and
-// let the scheduler program the core. The engine compares old and new
-// masks and only interacts with the kernel when necessary; a real
-// write charges the modelled overhead to the core.
+// let the scheduler program the core.
 func (e *Engine) applyCUID(coreID int, cuid core.CUID, fp core.Footprint) error {
 	if e.limitWays > 0 {
 		return nil // instance-wide limit active; jobs keep it
@@ -159,6 +163,14 @@ func (e *Engine) applyCUID(coreID int, cuid core.CUID, fp core.Footprint) error 
 	if err != nil {
 		return err
 	}
+	return e.placeWorker(coreID, group)
+}
+
+// placeWorker moves a core's worker thread into a resctrl group and
+// lets the scheduler program the core's CLOS. The filesystem elides
+// redundant moves and associations, so the engine only charges the
+// modelled kernel-interaction overhead when real writes occurred.
+func (e *Engine) placeWorker(coreID int, group string) error {
 	tid := e.tids[coreID]
 	before := e.fs.Writes()
 	if err := e.fs.MoveTask(tid, group); err != nil {

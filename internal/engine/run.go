@@ -136,7 +136,10 @@ func (s *kernelSlot) observe(rows int, ticks int64) {
 
 // stream is the runtime state of one StreamSpec.
 type stream struct {
-	spec     StreamSpec
+	spec StreamSpec
+	// idx is the stream's position in the run's spec list, the identity
+	// an attached Controller tracks telemetry under.
+	idx      int
 	rng      *rand.Rand
 	phases   []Phase
 	phaseIdx int
@@ -181,6 +184,15 @@ func (e *Engine) Run(specs []StreamSpec, opts RunOptions) ([]StreamResult, error
 
 	e.m.Reset()
 
+	infos := make([]StreamInfo, len(specs))
+	for i, s := range specs {
+		infos[i] = StreamInfo{Name: s.Query.Name(), Cores: len(s.Cores)}
+	}
+	es, err := e.controllerBegin(infos)
+	if err != nil {
+		return nil, err
+	}
+
 	streams := make([]*stream, len(specs))
 	// bindings lists (core, stream, slot) in ascending core order so
 	// scheduling ties break deterministically.
@@ -189,6 +201,7 @@ func (e *Engine) Run(specs []StreamSpec, opts RunOptions) ([]StreamResult, error
 	for i, spec := range specs {
 		st := &stream{
 			spec: spec,
+			idx:  i,
 			rng:  rand.New(rand.NewSource(opts.Seed + int64(i)*7919)),
 		}
 		if err := e.planExecution(st); err != nil {
@@ -254,6 +267,9 @@ func (e *Engine) Run(specs []StreamSpec, opts RunOptions) ([]StreamResult, error
 		}
 		if minNow >= durTicks {
 			break
+		}
+		if err := e.controllerTick(es, minNow, bindings[minIdx].core); err != nil {
+			return nil, err
 		}
 
 		b := bindings[minIdx]
@@ -353,7 +369,7 @@ func (e *Engine) armPhase(st *stream) error {
 	st.slots = make([]kernelSlot, len(st.spec.Cores))
 	for i := range ph.Kernels {
 		st.slots[i] = kernelSlot{kernel: ph.Kernels[i]}
-		if err := e.applyCUID(st.spec.Cores[i], ph.CUID, ph.Footprint); err != nil {
+		if err := e.applyJob(st.spec.Cores[i], st.idx, ph.CUID, ph.Footprint); err != nil {
 			return err
 		}
 	}

@@ -32,10 +32,26 @@ func (e *Engine) RunSharedPool(queries []Query, opts RunOptions) ([]StreamResult
 	}
 	e.m.Reset()
 
+	// Streams time-share the whole pool; a stream's core share for
+	// telemetry normalization is its fair fraction of it.
+	share := e.m.Cores() / len(queries)
+	if share < 1 {
+		share = 1
+	}
+	infos := make([]StreamInfo, len(queries))
+	for i, q := range queries {
+		infos[i] = StreamInfo{Name: q.Name(), Cores: share}
+	}
+	es, err := e.controllerBegin(infos)
+	if err != nil {
+		return nil, err
+	}
+
 	cores := e.m.Cores()
 	streams := make([]*stream, len(queries))
 	for i, q := range queries {
 		st := &stream{
+			idx:  i,
 			spec: StreamSpec{Query: q, Cores: poolCores(cores)},
 			rng:  rand.New(rand.NewSource(opts.Seed + int64(i)*7919)),
 		}
@@ -108,6 +124,9 @@ func (e *Engine) RunSharedPool(queries []Query, opts RunOptions) ([]StreamResult
 		if minNow >= durTicks {
 			break
 		}
+		if err := e.controllerTick(es, minNow, minCore); err != nil {
+			return nil, err
+		}
 
 		si, slotIdx := pickSlot(streams, lastStream[minCore])
 		if si < 0 {
@@ -116,7 +135,7 @@ func (e *Engine) RunSharedPool(queries []Query, opts RunOptions) ([]StreamResult
 		st := streams[si]
 		lastStream[minCore] = si
 		ph := st.phases[st.phaseIdx]
-		if err := e.applyCUID(minCore, ph.CUID, ph.Footprint); err != nil {
+		if err := e.applyJob(minCore, si, ph.CUID, ph.Footprint); err != nil {
 			return nil, err
 		}
 		slot := &st.slots[slotIdx]

@@ -1,0 +1,63 @@
+package resctrl
+
+// MonDelta is one monitoring window's worth of telemetry for a control
+// group: the instantaneous LLC occupancy and the DRAM traffic
+// accumulated since the previous sample of the same group.
+type MonDelta struct {
+	// LLCOccupancyBytes mirrors llc_occupancy: an instantaneous
+	// reading, not a delta.
+	LLCOccupancyBytes uint64
+	// MemBytesDelta is the growth of mbm_total_bytes over the window.
+	MemBytesDelta uint64
+}
+
+// MonWindow converts the cumulative mbm_total_bytes counter into
+// per-window deltas, the quantity a feedback controller actually
+// consumes. The kernel's MBM files only ever grow (modulo hardware
+// counter width); every consumer re-deriving "bytes since my last
+// read" is the boilerplate this helper centralises.
+//
+// A MonWindow is driven from one control loop and is not safe for
+// concurrent use; the underlying FS reads are.
+type MonWindow struct {
+	fs *FS
+	// last holds the cumulative traffic reading per group at its
+	// previous Sample. Accessed by key only, never iterated.
+	last map[string]uint64
+}
+
+// NewMonWindow opens a monitoring window over a mounted filesystem.
+func NewMonWindow(fs *FS) *MonWindow {
+	return &MonWindow{fs: fs, last: make(map[string]uint64)}
+}
+
+// Sample reads a group's monitoring files and returns the delta since
+// the previous Sample of that group. The first sample of a group
+// measures from zero, matching counters that start at zero when
+// monitoring begins. A cumulative reading below the remembered
+// baseline means the counters were reset (the simulator zeroes them
+// between runs; real hardware wraps): the window restarts from zero so
+// a reset never produces a huge bogus delta.
+func (w *MonWindow) Sample(group string) (MonDelta, error) {
+	md, err := w.fs.ReadMonData(group)
+	if err != nil {
+		return MonDelta{}, err
+	}
+	prev := w.last[group]
+	delta := md.MemTotalBytes - prev
+	if md.MemTotalBytes < prev {
+		delta = md.MemTotalBytes
+	}
+	w.last[group] = md.MemTotalBytes
+	return MonDelta{
+		LLCOccupancyBytes: md.LLCOccupancyBytes,
+		MemBytesDelta:     delta,
+	}, nil
+}
+
+// Reset forgets every baseline, so the next Sample of each group
+// measures from zero again. Call it when the backing counters are
+// known to have been zeroed.
+func (w *MonWindow) Reset() {
+	clear(w.last)
+}

@@ -1,0 +1,139 @@
+package resctrl
+
+import (
+	"testing"
+
+	"cachepart/internal/cat"
+)
+
+// settableMonitor lets a test advance the counters between samples.
+type settableMonitor struct {
+	occ     map[int]uint64
+	traffic map[int]uint64
+}
+
+func (m *settableMonitor) LLCOccupancyOfCLOS(clos int) uint64 { return m.occ[clos] }
+func (m *settableMonitor) MemTrafficOfCLOS(clos int) uint64   { return m.traffic[clos] }
+
+func TestMonWindowDeltas(t *testing.T) {
+	regs, err := cat.NewRegisters(4, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Mount(regs)
+	mon := &settableMonitor{occ: map[int]uint64{}, traffic: map[int]uint64{}}
+	fs.AttachMonitor(mon)
+	if err := fs.MakeGroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	// Group "g" is CLOS 1.
+	w := NewMonWindow(fs)
+
+	mon.occ[1] = 4096
+	mon.traffic[1] = 1000
+	d, err := w.Sample("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LLCOccupancyBytes != 4096 || d.MemBytesDelta != 1000 {
+		t.Errorf("first sample = %+v, want occupancy 4096, delta 1000", d)
+	}
+
+	// The cumulative counter grows; the delta is only the growth, the
+	// occupancy stays instantaneous.
+	mon.occ[1] = 2048
+	mon.traffic[1] = 1600
+	d, err = w.Sample("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LLCOccupancyBytes != 2048 || d.MemBytesDelta != 600 {
+		t.Errorf("second sample = %+v, want occupancy 2048, delta 600", d)
+	}
+
+	// No traffic between samples: zero delta.
+	d, err = w.Sample("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MemBytesDelta != 0 {
+		t.Errorf("quiescent sample delta = %d, want 0", d.MemBytesDelta)
+	}
+
+	// Counter reset (machine stats zeroed between runs): the window
+	// restarts from zero instead of underflowing.
+	mon.traffic[1] = 200
+	d, err = w.Sample("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MemBytesDelta != 200 {
+		t.Errorf("post-reset delta = %d, want 200", d.MemBytesDelta)
+	}
+
+	// Reset forgets the baseline: the next delta measures from zero.
+	mon.traffic[1] = 500
+	w.Reset()
+	d, err = w.Sample("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MemBytesDelta != 500 {
+		t.Errorf("post-Reset delta = %d, want 500", d.MemBytesDelta)
+	}
+}
+
+func TestMonWindowIndependentGroups(t *testing.T) {
+	regs, err := cat.NewRegisters(4, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Mount(regs)
+	mon := &settableMonitor{occ: map[int]uint64{}, traffic: map[int]uint64{}}
+	fs.AttachMonitor(mon)
+	if err := fs.MakeGroup("a"); err != nil { // CLOS 1
+		t.Fatal(err)
+	}
+	if err := fs.MakeGroup("b"); err != nil { // CLOS 2
+		t.Fatal(err)
+	}
+	w := NewMonWindow(fs)
+	mon.traffic[1] = 100
+	mon.traffic[2] = 1000
+	if _, err := w.Sample("a"); err != nil {
+		t.Fatal(err)
+	}
+	mon.traffic[1] = 150
+	mon.traffic[2] = 1500
+	da, err := w.Sample("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := w.Sample("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da.MemBytesDelta != 50 {
+		t.Errorf("group a delta = %d, want 50", da.MemBytesDelta)
+	}
+	// b was never sampled before, so its first delta measures from zero.
+	if db.MemBytesDelta != 1500 {
+		t.Errorf("group b delta = %d, want 1500", db.MemBytesDelta)
+	}
+}
+
+func TestMonWindowErrors(t *testing.T) {
+	regs, err := cat.NewRegisters(2, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Mount(regs)
+	w := NewMonWindow(fs)
+	if _, err := w.Sample(RootGroup); err == nil {
+		t.Error("sampling without a monitor should fail")
+	}
+	fs.AttachMonitor(&settableMonitor{occ: map[int]uint64{}, traffic: map[int]uint64{}})
+	if _, err := w.Sample("missing"); err == nil {
+		t.Error("sampling an unknown group should fail")
+	}
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	cachelint [-checks nondet,maskcheck,...] [-list] [packages]
+//	cachelint [-checks nondet,maskcheck,...] [-json] [-list] [packages]
 //
 // Packages default to ./... relative to the enclosing module. The
 // exit status is 0 when the tree is clean, 1 when diagnostics were
@@ -14,12 +14,20 @@
 // "file:line:col: [check] message"; intentional exceptions are
 // annotated in the source with "//lint:allow <check> <reason>".
 //
+// With -json each diagnostic prints as one JSON object per line
+// (file, line, col, check, message, allowed). This mode additionally
+// includes findings suppressed by //lint:allow, marked "allowed":true,
+// so CI can audit the escape hatch; only unsuppressed findings set the
+// exit status. CI feeds this stream to a GitHub problem matcher
+// (.github/cachelint-matcher.json) to surface findings as annotations.
+//
 // The tool builds from the standard library alone (go/parser, go/ast,
 // go/types with the source importer), so it needs no module
 // dependencies and runs offline.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,8 +39,9 @@ import (
 
 func main() {
 	var (
-		checks = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-		list   = flag.Bool("list", false, "list the available checks and exit")
+		checks   = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		list     = flag.Bool("list", false, "list the available checks and exit")
+		jsonMode = flag.Bool("json", false, "print one JSON object per diagnostic, including allowed findings")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cachelint [flags] [packages]\n")
@@ -95,7 +104,10 @@ func main() {
 		pkgs = append(pkgs, pkg)
 	}
 
-	diags := lint.Run(loader, pkgs, analyzers, lint.DefaultConfig(loader.Module))
+	cfg := lint.DefaultConfig(loader.Module)
+	cfg.ReportAllowed = *jsonMode
+	diags := lint.Run(loader, pkgs, analyzers, cfg)
+	failing := 0
 	for _, d := range diags {
 		pos := d.Pos
 		if cwd != "" {
@@ -103,12 +115,41 @@ func main() {
 				pos.Filename = rel
 			}
 		}
+		if !d.Allowed {
+			failing++
+		}
+		if *jsonMode {
+			line, err := json.Marshal(jsonDiagnostic{
+				File:    pos.Filename,
+				Line:    pos.Line,
+				Col:     pos.Column,
+				Check:   d.Check,
+				Message: d.Message,
+				Allowed: d.Allowed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s\n", line)
+			continue
+		}
 		fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Check, d.Message)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "cachelint: %d problem(s) in %d package(s)\n", len(diags), len(pkgs))
+	if failing > 0 {
+		fmt.Fprintf(os.Stderr, "cachelint: %d problem(s) in %d package(s)\n", failing, len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// jsonDiagnostic is the -json line format. Field order is fixed so the
+// output is byte-stable and the CI problem matcher can anchor on it.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	Allowed bool   `json:"allowed"`
 }
 
 // selectAnalyzers resolves the -checks flag against the registry.

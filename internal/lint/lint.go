@@ -55,6 +55,22 @@ type Config struct {
 	// ErrPackages lists packages whose error returns must not be
 	// discarded implicitly.
 	ErrPackages []string
+
+	// SinkPackages lists the packages holding simulator state: the
+	// taintflow analyzer reports only when a nondeterministic value
+	// reaches a call, composite literal, or field write of one of
+	// these packages.
+	SinkPackages []string
+
+	// CycleFuncs lists qualified functions ("pkgpath.Name" or
+	// "pkgpath.Recv.Name") whose integer results live in the
+	// simulator's cycle/tick domain regardless of their names.
+	CycleFuncs []string
+
+	// ReportAllowed includes diagnostics suppressed by //lint:allow in
+	// the results, marked Allowed — the machine-readable mode surfaces
+	// them so reviewers can audit the escape hatch.
+	ReportAllowed bool
 }
 
 // DefaultConfig returns the repository's production configuration.
@@ -67,10 +83,25 @@ func DefaultConfig(module string) Config {
 		PhaseType:    module + "/internal/engine.Phase",
 		CUIDField:    "CUID",
 		ErrPackages:  []string{"os", module + "/internal/resctrl"},
+		SinkPackages: []string{
+			module + "/internal/cachesim",
+			module + "/internal/engine",
+			module + "/internal/adapt",
+		},
+		CycleFuncs: []string{
+			module + "/internal/cachesim.Machine.Now",
+			module + "/internal/cachesim.Machine.MaxNow",
+			module + "/internal/cachesim.Machine.Ticks",
+			module + "/internal/engine.StreamResult.Percentile",
+		},
 	}
 }
 
-// Analyzer is one named check.
+// Analyzer is one named check. Exactly one of Run and RunModule is
+// set: Run analyzers inspect one package at a time and may execute in
+// parallel across packages; RunModule analyzers see the whole
+// analyzed module at once through the shared interprocedural Program
+// (call graph plus per-function summaries).
 type Analyzer struct {
 	// Name is the check identifier used in diagnostics and in
 	// //lint:allow directives.
@@ -79,6 +110,8 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunModule inspects the whole analyzed package set at once.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one analyzer's view of one package.
@@ -94,15 +127,53 @@ type Pass struct {
 // Reportf records a diagnostic at pos unless an allow directive
 // suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	emit(p.report, p.Pkg, p.Config, p.Analyzer.Name, p.Fset.Position(pos), fmt.Sprintf(format, args...))
+}
+
+// emit applies the allow-directive policy shared by package and module
+// passes: a suppressed diagnostic is dropped, or kept with Allowed set
+// when the configuration asks for the full audit trail.
+func emit(report func(Diagnostic), pkg *Package, cfg Config, check string, position token.Position, msg string) {
+	d := Diagnostic{Pos: position, Check: check, Message: msg}
+	if pkg.allowed(position, check) {
+		if !cfg.ReportAllowed {
+			return
+		}
+		d.Allowed = true
+	}
+	report(d)
+}
+
+// ModulePass carries one module-level analyzer's view of the whole
+// analyzed package set, including the shared interprocedural program.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Config   Config
+	Fset     *token.FileSet
+	Prog     *Program
+
+	// byFile maps source filenames to their analyzed package, the
+	// reporting set — positions in packages loaded only as
+	// dependencies of the analysis are dropped.
+	byFile map[string]*Package
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos when it falls inside an analyzed
+// package and no allow directive suppresses it.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.Pkg.allowed(position, p.Analyzer.Name) {
+	pkg := p.byFile[position.Filename]
+	if pkg == nil {
 		return
 	}
-	p.report(Diagnostic{
-		Pos:     position,
-		Check:   p.Analyzer.Name,
-		Message: fmt.Sprintf(format, args...),
-	})
+	emit(p.report, pkg, p.Config, p.Analyzer.Name, position, fmt.Sprintf(format, args...))
+}
+
+// analyzed reports whether the function is part of the reporting set
+// (as opposed to a dependency loaded only for its summaries).
+func (p *ModulePass) analyzed(fn *FuncNode) bool {
+	return p.byFile[p.Fset.Position(fn.Decl.Pos()).Filename] != nil
 }
 
 // Diagnostic is one finding, rendered as "file:line:col: [check] msg".
@@ -110,10 +181,17 @@ type Diagnostic struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	// Allowed marks a finding suppressed by a //lint:allow directive,
+	// reported only under Config.ReportAllowed.
+	Allowed bool
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	if d.Allowed {
+		s += " (allowed)"
+	}
+	return s
 }
 
 // less orders diagnostics for stable output.
@@ -130,7 +208,10 @@ func (d Diagnostic) less(o Diagnostic) bool {
 	if d.Check != o.Check {
 		return d.Check < o.Check
 	}
-	return d.Message < o.Message
+	if d.Message != o.Message {
+		return d.Message < o.Message
+	}
+	return !d.Allowed && o.Allowed
 }
 
 // inSimPackages reports whether the pass's package falls under one of

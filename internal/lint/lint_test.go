@@ -135,6 +135,73 @@ func TestLockSafetyGolden(t *testing.T) {
 	runGolden(t, "lockfix", []*Analyzer{LockSafety})
 }
 
+func TestTaintFlowGolden(t *testing.T) {
+	// Nondeterminism runs alongside to prove the handoff: the fixture's
+	// one //lint:allow nondet on the laundering helper silences the old
+	// check entirely, while taintflow still reports at the sinks.
+	runGolden(t, "taintfix", []*Analyzer{Nondeterminism, TaintFlow})
+}
+
+// TestNondetMissesLaundering pins down why taintflow exists: on the
+// laundering fixture the intraprocedural nondet check reports nothing
+// at all — the single annotated helper hides the wall-clock read from
+// every caller feeding it into simulator state.
+func TestNondetMissesLaundering(t *testing.T) {
+	loader := testLoader(t)
+	pkg, err := loader.LoadDir("internal/lint/testdata/src/taintfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(loader, []*Package{pkg}, []*Analyzer{Nondeterminism}, DefaultConfig(loader.Module)) {
+		t.Errorf("nondet unexpectedly caught the laundered flow: %s", d)
+	}
+}
+
+func TestTimeUnitsGolden(t *testing.T) {
+	runGolden(t, "timefix", []*Analyzer{TimeUnits})
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	runGolden(t, "lockorderfix", []*Analyzer{LockOrder})
+}
+
+// TestRunParallelMatchesSerial renders the full-module diagnostics from
+// a single-worker run and a many-worker run (with allowed findings
+// included, the widest output) and requires byte identity.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	loader := testLoader(t)
+	dirs, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	cfg := DefaultConfig(loader.Module)
+	cfg.ReportAllowed = true
+	render := func(diags []Diagnostic) string {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	serial := render(run(loader, pkgs, Analyzers(), cfg, 1))
+	parallel := render(run(loader, pkgs, Analyzers(), cfg, 8))
+	if serial != parallel {
+		t.Errorf("parallel run output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+	if serial == "" {
+		t.Log("no diagnostics at all, comparison is vacuous for allowed findings")
+	}
+}
+
 func TestDirectiveValidationGolden(t *testing.T) {
 	// Directive problems are emitted by Run itself, before any
 	// analyzer; an empty analyzer list isolates them.

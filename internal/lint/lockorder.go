@@ -1,0 +1,522 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrder lifts the locks analyzer's per-body view to a module-wide
+// lock-acquisition graph. Every sync Lock/RLock acquired while other
+// locks are held adds an ordering edge; calls propagate — a function
+// invoked under a held lock contributes every lock it may acquire
+// transitively (computed to fixpoint over call-graph SCCs). A cycle in
+// the resulting graph is a potential deadlock even though no single
+// function ever sees both orders, which is exactly the case the
+// intra-procedural check cannot see. The analyzer also reports calls
+// that may reacquire a lock already held (sync.Mutex does not
+// re-enter).
+//
+// Locks are identified statically: a field lock keys by its owner's
+// type ("pkg.FS.mu" — two instances of one type share a key, so
+// hand-over-hand locking of siblings would be a false positive;
+// none exists here), a package-level lock by its variable. Function
+// literals are scanned as independent bodies with no held locks, and
+// interface dispatch contributes no edges (DESIGN.md §9).
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "no cycles in the interprocedural lock-acquisition order; no call that reacquires a held lock",
+	RunModule: runLockOrder,
+}
+
+// heldLock is one acquisition on the scan's stack.
+type heldLock struct {
+	key string
+	pos token.Pos
+}
+
+// lockWitness records where an ordering edge was observed.
+type lockWitness struct {
+	pos token.Pos
+	via string // callee name when the edge crosses a call, "" when direct
+}
+
+// heldCall is a call made while locks were held, expanded against the
+// callee's transitive acquisition set after the fixpoint.
+type heldCall struct {
+	held   []heldLock
+	callee *FuncNode
+	pos    token.Pos
+}
+
+type lockWorld struct {
+	pass      *ModulePass
+	direct    map[*FuncNode]map[string]token.Pos
+	heldCalls map[*FuncNode][]heldCall
+	edges     map[[2]string]lockWitness
+}
+
+func runLockOrder(p *ModulePass) {
+	w := &lockWorld{
+		pass:      p,
+		direct:    make(map[*FuncNode]map[string]token.Pos),
+		heldCalls: make(map[*FuncNode][]heldCall),
+		edges:     make(map[[2]string]lockWitness),
+	}
+	// Phase 1: intraprocedural scan of every function, collecting
+	// direct acquisitions, direct ordering edges, and held calls.
+	for _, fn := range p.Prog.Funcs {
+		w.scanFunc(fn)
+	}
+	// Phase 2: transitive may-acquire sets to fixpoint, bottom-up.
+	acq := make(map[*FuncNode]map[string]bool, len(p.Prog.Funcs))
+	for _, fn := range p.Prog.Funcs {
+		set := make(map[string]bool)
+		for k := range w.direct[fn] {
+			set[k] = true
+		}
+		acq[fn] = set
+	}
+	p.Prog.fixpoint(func(fn *FuncNode) bool {
+		set := acq[fn]
+		before := len(set)
+		for _, c := range fn.Calls {
+			for k := range acq[c.Callee] {
+				set[k] = true
+			}
+		}
+		return len(set) != before
+	})
+	// Phase 3: expand held calls into edges and reacquire reports.
+	for _, fn := range p.Prog.Funcs {
+		for _, hc := range w.heldCalls[fn] {
+			keys := make([]string, 0, len(acq[hc.callee]))
+			for k := range acq[hc.callee] {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, h := range hc.held {
+				for _, a := range keys {
+					if a == h.key {
+						p.Reportf(hc.pos, "call to %s may reacquire %s, already held here; sync locks do not re-enter", hc.callee.Obj.Name(), shortLock(h.key))
+						continue
+					}
+					w.addEdge(h.key, a, lockWitness{pos: hc.pos, via: hc.callee.Obj.Name()})
+				}
+			}
+		}
+	}
+	w.reportCycles()
+}
+
+// addEdge records from→to, keeping the earliest witness so reporting
+// is deterministic.
+func (w *lockWorld) addEdge(from, to string, wit lockWitness) {
+	key := [2]string{from, to}
+	if old, ok := w.edges[key]; !ok || w.posLess(wit.pos, old.pos) {
+		w.edges[key] = wit
+	}
+}
+
+func (w *lockWorld) posLess(a, b token.Pos) bool {
+	pa, pb := w.pass.Fset.Position(a), w.pass.Fset.Position(b)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	return pa.Offset < pb.Offset
+}
+
+// edgeList returns the ordering edges sorted by (from, to) — the
+// deterministic iteration order for everything downstream of the edge
+// map.
+func (w *lockWorld) edgeList() [][2]string {
+	var list [][2]string
+	for e := range w.edges {
+		list = append(list, e)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i][0] != list[j][0] {
+			return list[i][0] < list[j][0]
+		}
+		return list[i][1] < list[j][1]
+	})
+	return list
+}
+
+func dedupStrings(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// shortLock trims the module path off a lock key for messages:
+// "cachepart/internal/resctrl.FS.mu" -> "resctrl.FS.mu".
+func shortLock(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// scanFunc walks one function body in source order, tracking the held
+// stack. Function literals are queued and scanned as independent
+// bodies with nothing held.
+func (w *lockWorld) scanFunc(fn *FuncNode) {
+	w.direct[fn] = make(map[string]token.Pos)
+	var lits []*ast.FuncLit
+	s := &lockScan{w: w, fn: fn, lits: &lits}
+	s.stmts(fn.Decl.Body.List)
+	for i := 0; i < len(lits); i++ {
+		inner := &lockScan{w: w, fn: fn, lits: &lits}
+		inner.stmts(lits[i].Body.List)
+	}
+}
+
+type lockScan struct {
+	w    *lockWorld
+	fn   *FuncNode
+	held []heldLock
+	lits *[]*ast.FuncLit
+}
+
+// acquire pushes a lock, recording ordering edges against everything
+// already held and an immediate reacquire finding when the same key is
+// on the stack.
+func (s *lockScan) acquire(key string, pos token.Pos) {
+	for _, h := range s.held {
+		if h.key == key {
+			s.w.pass.Reportf(pos, "reacquires %s, already held; sync locks do not re-enter", shortLock(key))
+		} else {
+			s.w.addEdge(h.key, key, lockWitness{pos: pos})
+		}
+	}
+	if _, ok := s.w.direct[s.fn][key]; !ok {
+		s.w.direct[s.fn][key] = pos
+	}
+	s.held = append(s.held, heldLock{key: key, pos: pos})
+}
+
+func (s *lockScan) release(key string) {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i].key == key {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// collectCalls records module calls inside an expression made with the
+// current held set, skipping function literals (they are scanned
+// separately and may run on another goroutine).
+func (s *lockScan) collectCalls(root ast.Node) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			*s.lits = append(*s.lits, n)
+			return false
+		case *ast.CallExpr:
+			if len(s.held) == 0 {
+				return true
+			}
+			if callee := s.w.pass.Prog.NodeOf(calleeObj(s.fn.Pkg.Info, n)); callee != nil {
+				snap := make([]heldLock, len(s.held))
+				copy(snap, s.held)
+				s.w.heldCalls[s.fn] = append(s.w.heldCalls[s.fn], heldCall{held: snap, callee: callee, pos: n.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+func (s *lockScan) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		s.stmt(st)
+	}
+}
+
+func (s *lockScan) stmt(st ast.Stmt) {
+	info := s.fn.Pkg.Info
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if recv, op, ok := lockCall(info, st.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				s.acquire(s.lockKey(st.X), st.Pos())
+			case "Unlock", "RUnlock":
+				s.release(s.lockKey(st.X))
+				_ = recv
+			}
+			return
+		}
+		s.collectCalls(st.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to the end of the
+		// body, which is what the held stack already models; any other
+		// deferred call runs with whatever is held at return.
+		if _, op, ok := lockCall(info, st.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			return
+		}
+		s.collectCalls(st.Call)
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the holder's lock
+		// order; only argument expressions evaluate here.
+		for _, arg := range st.Call.Args {
+			s.collectCalls(arg)
+		}
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			s.collectCalls(r)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s.collectCalls(r)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.collectCalls(st.Cond)
+		s.stmts(st.Body.List)
+		if st.Else != nil {
+			s.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.collectCalls(st.Cond)
+		s.stmts(st.Body.List)
+		if st.Post != nil {
+			s.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		s.collectCalls(st.X)
+		s.stmts(st.Body.List)
+	case *ast.BlockStmt:
+		s.stmts(st.List)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.collectCalls(st.Tag)
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					s.stmt(cc.Comm)
+				}
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.SendStmt:
+		s.collectCalls(st.Value)
+	case *ast.DeclStmt:
+		s.collectCalls(st)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	}
+}
+
+// lockKey derives a stable identity for the lock a Lock/Unlock call
+// operates on. e is the full call expression.
+func (s *lockScan) lockKey(e ast.Expr) string {
+	call := ast.Unparen(e).(*ast.CallExpr)
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	lock := ast.Unparen(sel.X) // the lock value: fs.mu, mu, ...
+	info := s.fn.Pkg.Info
+	switch l := lock.(type) {
+	case *ast.SelectorExpr:
+		// x.mu keys by the owner's type: every instance of the type
+		// follows one ordering discipline.
+		if bt := info.TypeOf(l.X); bt != nil {
+			if named, ok := derefNamed(bt).(*types.Named); ok {
+				return qualifiedName(named) + "." + l.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		if obj := info.ObjectOf(l); obj != nil {
+			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Path() + "." + obj.Name()
+			}
+			// A function-local lock cannot participate in a
+			// cross-function cycle but still orders within the body.
+			return funcQualified(s.fn.Obj) + ":" + obj.Name()
+		}
+	}
+	return funcQualified(s.fn.Obj) + ":" + types.ExprString(lock)
+}
+
+// reportCycles finds strongly connected components of the lock graph
+// and reports one diagnostic per cyclic component, anchored at its
+// earliest witness.
+func (w *lockWorld) reportCycles() {
+	edges := w.edgeList()
+	adj := make(map[string][]string)
+	var names []string
+	for _, e := range edges {
+		// edges arrive sorted by (from, to), so each adjacency list is
+		// born sorted.
+		adj[e[0]] = append(adj[e[0]], e[1])
+		names = append(names, e[0], e[1])
+	}
+	sort.Strings(names)
+	names = dedupStrings(names)
+
+	// Tarjan over lock nodes.
+	index := make(map[string]int)
+	lowlink := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	counter := 0
+	var sccs [][]string
+	var visit func(n string)
+	visit = func(n string) {
+		counter++
+		index[n], lowlink[n] = counter, counter
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, m := range adj[n] {
+			if index[m] == 0 {
+				visit(m)
+				lowlink[n] = min(lowlink[n], lowlink[m])
+			} else if onStack[m] {
+				lowlink[n] = min(lowlink[n], index[m])
+			}
+		}
+		if lowlink[n] == index[n] {
+			var scc []string
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				scc = append(scc, m)
+				if m == n {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sort.Strings(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, n := range names {
+		if index[n] == 0 {
+			visit(n)
+		}
+	}
+
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	for _, scc := range sccs {
+		w.reportCycle(scc)
+	}
+}
+
+// reportCycle renders one cyclic component: the diagnostic anchors at
+// the earliest acquisition witness among the component's edges and
+// spells out a concrete cycle path with every hop's location.
+func (w *lockWorld) reportCycle(scc []string) {
+	inSCC := make(map[string]bool, len(scc))
+	for _, n := range scc {
+		inSCC[n] = true
+	}
+	// Earliest internal edge.
+	var minEdge [2]string
+	var minWit lockWitness
+	found := false
+	for _, from := range scc {
+		for _, to := range scc {
+			if wit, ok := w.edges[[2]string{from, to}]; ok && from != to {
+				if !found || w.posLess(wit.pos, minWit.pos) {
+					minEdge, minWit, found = [2]string{from, to}, wit, true
+				}
+			}
+		}
+	}
+	if !found {
+		return
+	}
+	// Close the cycle: shortest path back from the edge's head to its
+	// tail, BFS over sorted adjacency restricted to the component.
+	path := w.pathWithin(minEdge[1], minEdge[0], inSCC)
+	if path == nil {
+		return
+	}
+	cycle := append([]string{minEdge[0]}, path...)
+
+	var hops []string
+	for i := 0; i+1 < len(cycle); i++ {
+		wit, ok := w.edges[[2]string{cycle[i], cycle[i+1]}]
+		if !ok {
+			continue
+		}
+		pos := w.pass.Fset.Position(wit.pos)
+		hop := fmt.Sprintf("%s before %s at %s:%d", shortLock(cycle[i]), shortLock(cycle[i+1]), filepath.Base(pos.Filename), pos.Line)
+		if wit.via != "" {
+			hop += " (via " + wit.via + ")"
+		}
+		hops = append(hops, hop)
+	}
+	short := make([]string, len(cycle))
+	for i, n := range cycle {
+		short[i] = shortLock(n)
+	}
+	w.pass.Reportf(minWit.pos, "lock-order cycle %s may deadlock; acquisition order: %s",
+		strings.Join(short, " -> "), strings.Join(hops, "; "))
+}
+
+// pathWithin returns the node sequence from start to target (inclusive
+// of both) through component edges, or nil.
+func (w *lockWorld) pathWithin(start, target string, in map[string]bool) []string {
+	adj := make(map[string][]string)
+	for _, e := range w.edgeList() {
+		if in[e[0]] && in[e[1]] && e[0] != e[1] {
+			adj[e[0]] = append(adj[e[0]], e[1]) // sorted: edgeList is
+		}
+	}
+	prev := map[string]string{start: start}
+	queue := []string{start}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == target {
+			var path []string
+			for at := target; ; at = prev[at] {
+				path = append([]string{at}, path...)
+				if at == start {
+					break
+				}
+			}
+			return path
+		}
+		for _, m := range adj[n] {
+			if _, seen := prev[m]; !seen {
+				prev[m] = n
+				queue = append(queue, m)
+			}
+		}
+	}
+	return nil
+}

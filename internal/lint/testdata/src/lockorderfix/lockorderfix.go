@@ -1,0 +1,84 @@
+// Package lockorderfix is a golden-test fixture for the lockorder
+// analyzer. No single function here takes both locks in both orders —
+// the inversion only exists across the appendEntry call — so the cycle
+// is invisible to any per-body check.
+package lockorderfix
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+}
+
+type journal struct {
+	mu sync.Mutex
+}
+
+// abFirst holds the registry lock across a call that takes the journal
+// lock: the registry.mu -> journal.mu edge.
+func abFirst(r *registry, j *journal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	appendEntry(j) // want "lock-order cycle lockorderfix.registry.mu -> lockorderfix.journal.mu"
+}
+
+func appendEntry(j *journal) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+}
+
+// baFirst takes the same locks in the opposite order directly.
+func baFirst(r *registry, j *journal) {
+	j.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	j.mu.Unlock()
+}
+
+type counter struct {
+	mu sync.Mutex
+}
+
+func (c *counter) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// bumpTwice calls bump with the lock already held — a guaranteed
+// self-deadlock on a non-reentrant mutex.
+func (c *counter) bumpTwice() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump() // want "call to bump may reacquire lockorderfix.counter.mu"
+}
+
+func (c *counter) doubleLock() {
+	c.mu.Lock()
+	c.mu.Lock() // want "reacquires lockorderfix.counter.mu, already held"
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+type qa struct {
+	mu sync.Mutex
+}
+
+type qb struct {
+	mu sync.Mutex
+}
+
+// The qa/qb pair inverts the same way but is allowlisted at the
+// reporting site, so the run stays clean.
+func qaFirst(x *qa, y *qb) {
+	x.mu.Lock()
+	y.mu.Lock() //lint:allow lockorder fixture exercises the escape hatch
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func qbFirst(x *qa, y *qb) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}

@@ -1,0 +1,50 @@
+// Package timefix is a golden-test fixture for the timeunits
+// analyzer: virtual-time tick counters and wall-clock durations share
+// integer representations, and only the unit inference keeps them
+// apart.
+package timefix
+
+import (
+	"time"
+
+	"cachepart/internal/cachesim"
+)
+
+// budget adds a wall-clock duration into a tick counter — the silent
+// corruption the analyzer exists for.
+func budget(d time.Duration) int64 {
+	var epochTicks int64
+	epochTicks += int64(d) // want "cycle-domain epochTicks assigned a wall-clock-domain value"
+	return epochTicks
+}
+
+// deadline compares the machine's cycle clock against a duration.
+func deadline(m *cachesim.Machine, d time.Duration) bool {
+	return m.Now(0) < int64(d) // want "cross-domain \"<\" mixes"
+}
+
+// millis crosses the boundary the sanctioned way: dividing two
+// wall-clock values yields a dimensionless count.
+func millis(d time.Duration) int64 {
+	return int64(d / time.Millisecond) // clean: same-domain division
+}
+
+// charge's first parameter is cycle-domain by name.
+func charge(budgetTicks, n int64) int64 {
+	return budgetTicks + n
+}
+
+func misuse(d time.Duration) int64 {
+	return charge(int64(d), 4) // want "wall-clock-domain argument passed to cycle-domain parameter \"budgetTicks\""
+}
+
+// spend's limit parameter has no cycle-ish name or type; the demand is
+// inferred interprocedurally from its comparison against the machine
+// clock in the body.
+func spend(m *cachesim.Machine, limit int64) bool {
+	return m.Now(0) > limit
+}
+
+func misuseSpend(m *cachesim.Machine, d time.Duration) bool {
+	return spend(m, int64(d)) // want "wall-clock-domain argument passed to cycle-domain parameter \"limit\""
+}

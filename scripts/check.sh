@@ -3,23 +3,41 @@
 # domain lint (cachelint), unit tests, and the race detector over the
 # concurrent layers. Run from anywhere inside the module; CI and
 # pre-merge reviews run exactly this.
+#
+# Usage: check.sh [lint|test|all]
+#   lint  build + vet + cachelint (the CI lint job)
+#   test  build + unit tests + race detector (the CI test job)
+#   all   both gates, in order (the default)
 set -eu
 
 cd "$(dirname "$0")/.."
 
+mode="${1:-all}"
+case "$mode" in
+lint | test | all) ;;
+*)
+	echo "check.sh: unknown mode '$mode' (want lint, test, or all)" >&2
+	exit 2
+	;;
+esac
+
 echo '== go build ./...'
 go build ./...
 
-echo '== go vet ./...'
-go vet ./...
+if [ "$mode" = lint ] || [ "$mode" = all ]; then
+	echo '== go vet ./...'
+	go vet ./...
 
-echo '== go run ./cmd/cachelint ./...'
-go run ./cmd/cachelint ./...
+	echo '== go run ./cmd/cachelint ./...'
+	go run ./cmd/cachelint ./...
+fi
 
-echo '== go test ./...'
-go test ./...
+if [ "$mode" = test ] || [ "$mode" = all ]; then
+	echo '== go test ./...'
+	go test ./...
 
-echo '== go test -race (engine, cachesim)'
-go test -race ./internal/engine/... ./internal/cachesim/...
+	echo '== go test -race (engine, cachesim)'
+	go test -race ./internal/engine/... ./internal/cachesim/...
+fi
 
-echo 'check.sh: all gates passed'
+echo "check.sh: $mode gate(s) passed"

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint race check
+.PHONY: build test lint race chaos check
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,9 @@ lint:
 
 race:
 	$(GO) test -race ./internal/engine/... ./internal/cachesim/...
+
+chaos:
+	sh scripts/check.sh chaos
 
 check:
 	sh scripts/check.sh

@@ -50,6 +50,7 @@ import (
 
 	"cachepart/internal/adapt"
 	"cachepart/internal/cachesim"
+	"cachepart/internal/fault"
 	"cachepart/internal/cat"
 	"cachepart/internal/column"
 	"cachepart/internal/core"
@@ -127,7 +128,25 @@ type (
 	// co-run under no partitioning, the static scheme and the online
 	// controller, annotated and blind.
 	AdaptResult = harness.AdaptResult
+
+	// FaultConfig sets per-operation control-plane fault-injection
+	// probabilities; enable with System.EnableChaos, disable with
+	// System.DisableChaos.
+	FaultConfig = fault.Config
+	// FaultPlane is an interposed fault injector over the resctrl
+	// control plane; it exposes injection statistics.
+	FaultPlane = fault.Plane
+	// FaultStats counts what a FaultPlane injected.
+	FaultStats = fault.Stats
+	// ChaosPoint is one fault rate of the chaos sweep.
+	ChaosPoint = harness.ChaosPoint
+	// ChaosResult is the chaos experiment's baseline and sweep points.
+	ChaosResult = harness.ChaosResult
 )
+
+// UniformFaults builds a FaultConfig injecting every control-plane
+// operation at the same rate from the given seed.
+func UniformFaults(rate float64, seed int64) FaultConfig { return fault.Uniform(rate, seed) }
 
 // The controller's stream classes.
 const (
@@ -310,4 +329,10 @@ var (
 	// an explicit one.
 	FigAdapt       = harness.FigAdapt
 	FigAdaptConfig = harness.FigAdaptConfig
+	// FigChaos sweeps control-plane fault rates over the partitioned
+	// co-run: throughput vs. the fault-free baseline plus retry and
+	// degradation counts; FigChaosRatesConfig takes an explicit rate
+	// list.
+	FigChaos            = harness.FigChaos
+	FigChaosRatesConfig = harness.FigChaosRatesConfig
 )

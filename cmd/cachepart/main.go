@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|adapt|all>
+//	cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|adapt|chaos|all>
 //
 // Flags tune the machine scale, core count and the simulated
 // measurement window; see -help.
@@ -35,7 +35,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|adapt|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|adapt|chaos|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -106,9 +106,11 @@ func main() {
 		err = runCoSched(p)
 	case "adapt":
 		err = runAdapt(p)
+	case "chaos":
+		err = runChaos(p)
 	case "all":
 		for _, f := range []func(harness.Params) error{
-			runFig4, runFig5, runFig6, runFig9, runFig10, runFig11, runFig12, runFig1, runProj, runDerive, runCoSched, runAdapt,
+			runFig4, runFig5, runFig6, runFig9, runFig10, runFig11, runFig12, runFig1, runProj, runDerive, runCoSched, runAdapt, runChaos,
 		} {
 			if err = f(p); err != nil {
 				break
@@ -230,6 +232,18 @@ func runAdapt(p harness.Params) error {
 	harness.PrintPairRows(os.Stdout,
 		"Adaptive controller — scan ∥ aggregation, annotations stripped (A=scan, B=aggregation)",
 		[]harness.PairRow{r.Blind})
+	return nil
+}
+
+// runChaos sweeps control-plane fault rates over the partitioned
+// co-run: every point must complete without error, trading isolation
+// (degraded placements) and retry cycles for survival.
+func runChaos(p harness.Params) error {
+	r, err := harness.FigChaos(p)
+	if err != nil {
+		return err
+	}
+	harness.PrintChaos(os.Stdout, r)
 	return nil
 }
 

@@ -17,8 +17,12 @@ import (
 // stream widths. Quiet streams split on occupancy: resident working
 // set means cache-sensitive, an empty cache means the stream is
 // indifferent.
+// A delta that follows failed samples spans Gap+1 epochs, so the rate
+// divides by the full span — otherwise the accumulated traffic of the
+// missed windows would read as one epoch's burst and misclassify a
+// quiet stream as streaming the moment telemetry recovers.
 func (c *Controller) classify(d resctrl.MonDelta, cores int) Class {
-	rate := float64(d.MemBytesDelta) / c.cfg.EpochSeconds / float64(cores)
+	rate := float64(d.MemBytesDelta) / (c.cfg.EpochSeconds * float64(d.Gap+1)) / float64(cores)
 	if rate >= c.cfg.StreamingBandwidthFraction*c.peakBytesPerSecond {
 		return Streaming
 	}
@@ -82,4 +86,9 @@ type streamState struct {
 	// trialEnded flags the epoch a probation confirmed streaming, so
 	// the restoring narrow write is logged as a trial step.
 	trialEnded bool
+
+	// degraded marks a stream whose control group could not be created
+	// (CLOS exhaustion): the controller neither observes nor steers it,
+	// and GroupFor routes its jobs to the engine's static path.
+	degraded bool
 }

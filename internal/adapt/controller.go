@@ -1,6 +1,7 @@
 package adapt
 
 import (
+	"errors"
 	"fmt"
 
 	"cachepart/internal/cat"
@@ -13,8 +14,17 @@ import (
 // group per stream, sampled and reclassified every control epoch.
 // Build one with Attach; all methods are driven from the engine's
 // serial scheduling loop and must not be called concurrently.
+//
+// The controller is fault-tolerant by holding course: a monitoring
+// read that fails (the kernel's "Unavailable"/"Error" files) keeps the
+// stream's class, streak and probation exactly where they were — the
+// epoch simply never happened for that stream, which also extends a
+// running probation — and a failed schemata write is absorbed and
+// retried by the next epoch's natural elision check. A stream whose
+// control group cannot be created at all is degraded: the controller
+// stops steering it and the engine's static path takes over.
 type Controller struct {
-	fs     *resctrl.FS
+	fs     resctrl.Plane
 	win    *resctrl.MonWindow
 	cfg    Config
 	policy core.Policy
@@ -28,6 +38,17 @@ type Controller struct {
 	streams []streamState
 	history []Transition
 	writes  int
+	// gaps counts failed telemetry samples, writeFailures absorbed
+	// schemata-write faults, across the run.
+	gaps          int
+	writeFailures int
+}
+
+// injected reports whether an error is an injected control-plane
+// fault (internal/fault) rather than a genuine programming error.
+func injected(err error) bool {
+	var f interface{ Transient() bool }
+	return errors.As(err, &f)
 }
 
 // Attach builds a controller over the engine's resctrl mount and
@@ -40,8 +61,8 @@ func Attach(e *engine.Engine, cfg Config) (*Controller, error) {
 	}
 	p := e.Policy()
 	c := &Controller{
-		fs:                 e.FS(),
-		win:                resctrl.NewMonWindow(e.FS()),
+		fs:                 e.ControlPlane(),
+		win:                resctrl.NewMonWindow(e.ControlPlane()),
 		cfg:                cfg,
 		policy:             p,
 		ways:               p.LLCWays,
@@ -64,6 +85,8 @@ func (c *Controller) BeginRun(streams []engine.StreamInfo) error {
 	c.streams = make([]streamState, len(streams))
 	c.history = nil
 	c.writes = 0
+	c.gaps = 0
+	c.writeFailures = 0
 	c.win.Reset()
 	full := cat.FullMask(c.ways)
 	for i := range c.streams {
@@ -81,6 +104,13 @@ func (c *Controller) BeginRun(streams []engine.StreamInfo) error {
 		if _, err := c.fs.Mask(st.group); err != nil {
 			// First run on this mount: the group does not exist yet.
 			if err := c.fs.MakeGroup(st.group); err != nil {
+				if injected(err) {
+					// No CLOS for this stream (ENOSPC): give up on
+					// steering it. GroupFor falls back to the engine's
+					// static path, which degrades safely on its own.
+					st.degraded = true
+					continue
+				}
 				return err
 			}
 		}
@@ -101,6 +131,9 @@ func (c *Controller) GroupFor(stream int, cuid core.CUID, fp core.Footprint) (st
 			stream, len(c.streams))
 	}
 	st := &c.streams[stream]
+	if st.degraded {
+		return "", nil // static fallback: the controller lost this group
+	}
 	if c.cfg.UseCUIDHints {
 		if hint := c.hintClass(cuid, fp); hint != st.lastHint {
 			st.lastHint = hint
@@ -126,12 +159,18 @@ func (c *Controller) GroupFor(stream int, cuid core.CUID, fp core.Footprint) (st
 // streams' classes through the beneficiary rule.
 func (c *Controller) OnEpoch(epoch int) error {
 	for i := range c.streams {
+		if c.streams[i].degraded {
+			continue
+		}
 		if err := c.observe(&c.streams[i], i, epoch); err != nil {
 			return err
 		}
 	}
 	for i := range c.streams {
 		st := &c.streams[i]
+		if st.degraded {
+			continue
+		}
 		if st.trialLeft > 0 {
 			continue // probation holds the full mask
 		}
@@ -145,10 +184,16 @@ func (c *Controller) OnEpoch(epoch int) error {
 }
 
 // observe samples one stream and advances its classification state.
+// A failed sample — an "Unavailable"/"Error" monitoring file — is a
+// telemetry gap, not evidence: the stream's class, debounce streak and
+// probation countdown all hold exactly where they were (so a running
+// probation is extended), and the MonWindow keeps its baseline so the
+// next successful sample spans the gap instead of misreading it.
 func (c *Controller) observe(st *streamState, stream, epoch int) error {
 	d, err := c.win.Sample(st.group)
 	if err != nil {
-		return err
+		c.gaps++
+		return nil
 	}
 	obs := c.classify(d, st.cores)
 
@@ -294,6 +339,15 @@ func (c *Controller) Transitions() []Transition {
 // performed since BeginRun — the number elision keeps at zero across
 // quiescent epochs.
 func (c *Controller) SchemataWrites() int { return c.writes }
+
+// Gaps reports how many telemetry samples failed since BeginRun —
+// epochs the controller rode out by holding its last decision.
+func (c *Controller) Gaps() int { return c.gaps }
+
+// WriteFailures reports how many schemata writes were absorbed as
+// injected faults since BeginRun; each leaves the previous mask in
+// place until a later epoch's elision check retries it.
+func (c *Controller) WriteFailures() int { return c.writeFailures }
 
 // ClassOf reports a stream's current class.
 func (c *Controller) ClassOf(stream int) Class {

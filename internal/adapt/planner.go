@@ -23,6 +23,11 @@ func (c *Controller) maskFor(class Class, confine bool) cat.WayMask {
 // This controller-level elision is what makes quiescent epochs cost
 // zero writes: the resctrl model, like the kernel, does not elide
 // schemata writes itself.
+//
+// An injected write fault (EBUSY) is absorbed, not propagated: the
+// group keeps its previous mask — a safe, merely stale partitioning —
+// and because the mask then still differs from the plan, the next
+// epoch's elision check retries the write without any extra machinery.
 func (c *Controller) program(st *streamState, mask cat.WayMask) (bool, error) {
 	cur, err := c.fs.Mask(st.group)
 	if err != nil {
@@ -32,6 +37,10 @@ func (c *Controller) program(st *streamState, mask cat.WayMask) (bool, error) {
 		return false, nil
 	}
 	if err := c.fs.WriteSchemata(st.group, resctrl.FormatSchemata(mask)); err != nil {
+		if injected(err) {
+			c.writeFailures++
+			return false, nil
+		}
 		return false, err
 	}
 	return true, nil

@@ -122,8 +122,8 @@ func (e *Engine) applyJob(coreID, streamIdx int, cuid core.CUID, fp core.Footpri
 			return err
 		}
 		if group != "" {
-			return e.placeWorker(coreID, group)
+			return e.placeWorker(coreID, streamIdx, group)
 		}
 	}
-	return e.applyCUID(coreID, cuid, fp)
+	return e.applyCUID(coreID, streamIdx, cuid, fp)
 }

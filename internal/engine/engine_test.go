@@ -48,13 +48,13 @@ func TestNewValidatesPolicy(t *testing.T) {
 
 func TestApplyCUIDProgramsMask(t *testing.T) {
 	e := testEngine(t, true)
-	if err := e.applyCUID(3, core.Polluting, core.Footprint{}); err != nil {
+	if err := e.applyCUID(3, -1, core.Polluting, core.Footprint{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := e.Machine().CAT().MaskOf(3); got != 0x3 {
 		t.Errorf("core 3 mask = %v, want 0x3", got)
 	}
-	if err := e.applyCUID(3, core.Sensitive, core.Footprint{}); err != nil {
+	if err := e.applyCUID(3, -1, core.Sensitive, core.Footprint{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := e.Machine().CAT().MaskOf(3); got != cat.FullMask(20) {
@@ -64,13 +64,13 @@ func TestApplyCUIDProgramsMask(t *testing.T) {
 
 func TestApplyCUIDElidesRedundantWrites(t *testing.T) {
 	e := testEngine(t, true)
-	if err := e.applyCUID(0, core.Polluting, core.Footprint{}); err != nil {
+	if err := e.applyCUID(0, -1, core.Polluting, core.Footprint{}); err != nil {
 		t.Fatal(err)
 	}
 	w := e.MaskWrites()
 	clock := e.Machine().Now(0)
 	for i := 0; i < 5; i++ {
-		if err := e.applyCUID(0, core.Polluting, core.Footprint{}); err != nil {
+		if err := e.applyCUID(0, -1, core.Polluting, core.Footprint{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -84,15 +84,15 @@ func TestApplyCUIDElidesRedundantWrites(t *testing.T) {
 
 func TestApplyCUIDChargesOverheadOnChange(t *testing.T) {
 	e := testEngine(t, true)
-	_ = e.applyCUID(0, core.Polluting, core.Footprint{})
+	_ = e.applyCUID(0, -1, core.Polluting, core.Footprint{})
 	before := e.Machine().Now(0)
-	_ = e.applyCUID(0, core.Sensitive, core.Footprint{})
+	_ = e.applyCUID(0, -1, core.Sensitive, core.Footprint{})
 	if got := e.Machine().Now(0) - before; got != DefaultMaskOverheadCycles*cachesim.TicksPerCycle {
 		t.Errorf("overhead = %d ticks, want %d", got, DefaultMaskOverheadCycles*cachesim.TicksPerCycle)
 	}
 	e.SetMaskOverhead(0)
 	before = e.Machine().Now(0)
-	_ = e.applyCUID(0, core.Polluting, core.Footprint{})
+	_ = e.applyCUID(0, -1, core.Polluting, core.Footprint{})
 	if e.Machine().Now(0) != before {
 		t.Error("zero overhead still charged")
 	}
@@ -101,7 +101,7 @@ func TestApplyCUIDChargesOverheadOnChange(t *testing.T) {
 func TestPolicyDisabledNeverMasks(t *testing.T) {
 	e := testEngine(t, false)
 	for _, cuid := range []core.CUID{core.Polluting, core.Sensitive, core.Depends} {
-		if err := e.applyCUID(1, cuid, core.Footprint{BitVectorBytes: 1 << 20}); err != nil {
+		if err := e.applyCUID(1, -1, cuid, core.Footprint{BitVectorBytes: 1 << 20}); err != nil {
 			t.Fatal(err)
 		}
 		if got := e.Machine().CAT().MaskOf(1); got != cat.FullMask(20) {
@@ -128,7 +128,7 @@ func TestLimitWays(t *testing.T) {
 	if err := ep.LimitWays(4); err != nil {
 		t.Fatal(err)
 	}
-	_ = ep.applyCUID(0, core.Polluting, core.Footprint{})
+	_ = ep.applyCUID(0, -1, core.Polluting, core.Footprint{})
 	if got := ep.Machine().CAT().MaskOf(0); got != 0xf {
 		t.Errorf("limit overridden by job mask: %v", got)
 	}

@@ -76,6 +76,14 @@ type StreamResult struct {
 	// completed after warm-up, for response-time percentiles (the
 	// paper measures end-to-end response times, Section III-D).
 	ExecTicks []int64
+	// Retries counts the stream's retried control-plane operations:
+	// transient injected faults the engine cleared by retrying with
+	// cycle-domain backoff.
+	Retries int64
+	// Degraded counts placements that fell back to the root group's
+	// full mask after persistent or unretryable faults — isolation
+	// lost, results preserved.
+	Degraded int64
 }
 
 // Percentile returns the p-quantile (0..1) of the recorded execution
@@ -183,6 +191,7 @@ func (e *Engine) Run(specs []StreamSpec, opts RunOptions) ([]StreamResult, error
 	}
 
 	e.m.Reset()
+	e.resetFaultState(len(specs))
 
 	infos := make([]StreamInfo, len(specs))
 	for i, s := range specs {
@@ -316,6 +325,8 @@ func (e *Engine) Run(specs []StreamSpec, opts RunOptions) ([]StreamResult, error
 			Throughput:    float64(rows) / window,
 			Stats:         delta,
 			ExecTicks:     st.execTicks[st.ticksAtWarm:],
+			Retries:       e.streamFaults[i].retries,
+			Degraded:      e.streamFaults[i].degraded,
 		}
 	}
 	return results, nil

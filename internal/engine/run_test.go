@@ -125,10 +125,10 @@ func TestCLOSExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.applyCUID(0, core.Sensitive, core.Footprint{}); err != nil {
+	if err := e.applyCUID(0, -1, core.Sensitive, core.Footprint{}); err != nil {
 		t.Errorf("full mask should use the root group: %v", err)
 	}
-	if err := e.applyCUID(0, core.Polluting, core.Footprint{}); err == nil {
+	if err := e.applyCUID(0, -1, core.Polluting, core.Footprint{}); err == nil {
 		t.Error("expected CLOS exhaustion error")
 	}
 }

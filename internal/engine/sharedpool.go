@@ -31,6 +31,7 @@ func (e *Engine) RunSharedPool(queries []Query, opts RunOptions) ([]StreamResult
 		return nil, fmt.Errorf("engine: duration %v must be positive", opts.Duration)
 	}
 	e.m.Reset()
+	e.resetFaultState(len(queries))
 
 	// Streams time-share the whole pool; a stream's core share for
 	// telemetry normalization is its fair fraction of it.
@@ -196,6 +197,8 @@ func (e *Engine) RunSharedPool(queries []Query, opts RunOptions) ([]StreamResult
 			Throughput:    float64(rows) / window,
 			Stats:         streamStats[i].Sub(warmStreamStats[i]),
 			ExecTicks:     st.execTicks[st.ticksAtWarm:],
+			Retries:       e.streamFaults[i].retries,
+			Degraded:      e.streamFaults[i].degraded,
 		}
 	}
 	return results, nil

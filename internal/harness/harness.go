@@ -222,6 +222,12 @@ type Measure struct {
 	// (zero when none completed — long statements sampled mid-flight).
 	P50 float64
 	P99 float64
+	// Retries and Degraded surface the stream's control-plane fault
+	// accounting: retried transient faults and placements that fell
+	// back to the root group (see System.EnableChaos). Zero without
+	// fault injection.
+	Retries  int64
+	Degraded int64
 }
 
 // measureOf converts a stream result on the system's machine clock.
@@ -233,6 +239,8 @@ func (s *System) measureOf(r engine.StreamResult) Measure {
 		HitRatio:   r.Stats.LLCHitRatio(),
 		MPI:        r.Stats.LLCMissesPerInstruction(),
 		Bandwidth:  float64(lines*memory.LineSize) / r.WindowSeconds,
+		Retries:    r.Retries,
+		Degraded:   r.Degraded,
 	}
 	if len(r.ExecTicks) > 0 {
 		m.P50 = s.Machine.Seconds(r.Percentile(0.50))

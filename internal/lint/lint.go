@@ -82,11 +82,12 @@ func DefaultConfig(module string) Config {
 		MaskPackages: []string{module + "/internal/cat", module + "/internal/resctrl"},
 		PhaseType:    module + "/internal/engine.Phase",
 		CUIDField:    "CUID",
-		ErrPackages:  []string{"os", module + "/internal/resctrl"},
+		ErrPackages:  []string{"os", module + "/internal/resctrl", module + "/internal/fault"},
 		SinkPackages: []string{
 			module + "/internal/cachesim",
 			module + "/internal/engine",
 			module + "/internal/adapt",
+			module + "/internal/fault",
 		},
 		CycleFuncs: []string{
 			module + "/internal/cachesim.Machine.Now",

@@ -157,6 +157,14 @@ func TestNondetMissesLaundering(t *testing.T) {
 	}
 }
 
+// TestFaultFixGolden proves the fault injector sits inside the
+// determinism net: internal/fault is a taintflow sink, so seeding a
+// fault schedule from the wall clock or global rand is flagged even
+// through a laundering helper.
+func TestFaultFixGolden(t *testing.T) {
+	runGolden(t, "faultfix", []*Analyzer{Nondeterminism, TaintFlow})
+}
+
 func TestTimeUnitsGolden(t *testing.T) {
 	runGolden(t, "timefix", []*Analyzer{TimeUnits})
 }

@@ -89,19 +89,30 @@ func (fs *FS) MakeGroup(name string) error {
 }
 
 // RemoveGroup deletes a control group; its tasks fall back to the root
-// group, as in the kernel.
+// group, as in the kernel. The freed CLOS is restored to the full
+// capacity mask — the kernel resets removed groups' schemata to the
+// default, so a restrictive mask must not survive in the register file
+// until the CLOS is reused. A reset of a narrowed mask counts as a
+// state-changing write.
 func (fs *FS) RemoveGroup(name string) error {
 	if name == RootGroup {
 		return fmt.Errorf("resctrl: cannot remove root group")
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if _, ok := fs.groups[name]; !ok {
+	g, ok := fs.groups[name]
+	if !ok {
 		return fmt.Errorf("resctrl: no group %q", name)
 	}
+	if full := cat.FullMask(fs.regs.NumWays()); g.mask != full {
+		if err := fs.regs.SetMask(g.clos, full); err != nil {
+			return err
+		}
+		fs.writes++
+	}
 	delete(fs.groups, name)
-	for tid, g := range fs.tasks {
-		if g == name {
+	for tid, gn := range fs.tasks {
+		if gn == name {
 			fs.tasks[tid] = RootGroup
 		}
 	}

@@ -4,19 +4,21 @@
 # concurrent layers. Run from anywhere inside the module; CI and
 # pre-merge reviews run exactly this.
 #
-# Usage: check.sh [lint|test|all]
-#   lint  build + vet + cachelint (the CI lint job)
-#   test  build + unit tests + race detector (the CI test job)
-#   all   both gates, in order (the default)
+# Usage: check.sh [lint|test|chaos|all]
+#   lint   build + vet + cachelint (the CI lint job)
+#   test   build + unit tests + race detector (the CI test job)
+#   chaos  build + fault-injection/robustness tests under the race
+#          detector (the CI chaos job)
+#   all    every gate, in order (the default)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 mode="${1:-all}"
 case "$mode" in
-lint | test | all) ;;
+lint | test | chaos | all) ;;
 *)
-	echo "check.sh: unknown mode '$mode' (want lint, test, or all)" >&2
+	echo "check.sh: unknown mode '$mode' (want lint, test, chaos, or all)" >&2
 	exit 2
 	;;
 esac
@@ -38,6 +40,13 @@ if [ "$mode" = test ] || [ "$mode" = all ]; then
 
 	echo '== go test -race (engine, cachesim)'
 	go test -race ./internal/engine/... ./internal/cachesim/...
+fi
+
+if [ "$mode" = chaos ] || [ "$mode" = all ]; then
+	echo '== go test -race (fault injection, degraded mode, telemetry gaps)'
+	go test -race -run 'Fault|Chaos|Gap|Degrad|ErrorPath|Retry' \
+		./internal/fault/... ./internal/engine/... ./internal/adapt/... \
+		./internal/resctrl/... ./internal/harness/...
 fi
 
 echo "check.sh: $mode gate(s) passed"

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint race chaos check
+.PHONY: build test lint race chaos check bench
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,10 @@ lint:
 
 race:
 	$(GO) test -race ./internal/engine/... ./internal/cachesim/...
+	$(GO) test -race -run 'Parallel' ./internal/harness/...
+
+bench:
+	sh scripts/bench.sh
 
 chaos:
 	sh scripts/check.sh chaos

@@ -212,6 +212,31 @@ func BenchmarkFig9(b *testing.B) {
 	}
 }
 
+// BenchmarkFig9Parallel — the same co-run in the epoch-parallel
+// simulation mode (DESIGN.md §11). Contrast ns/op against
+// BenchmarkFig9: on a multi-core host the private-level simulation
+// spreads across goroutines; the reported metrics stay bit-identical
+// across worker counts.
+func BenchmarkFig9Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.Parallel = true
+		sys, err := NewSystem(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scan, err := NewScanQuery(sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg, err := NewAggQuery(sys, 10_000_000, 10_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchPair(b, sys, scan, agg, false)
+	}
+}
+
 // BenchmarkFig10 — aggregation ∥ join at 10^8 keys: the join60 scheme
 // must beat join10 for the sensitive bit vector.
 func BenchmarkFig10(b *testing.B) {
@@ -251,6 +276,33 @@ func BenchmarkFig11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p := benchParams()
 		p.RowsAgg = 1 << 18
+		sys, err := NewSystem(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db, err := NewTPCH(sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q1, err := NewTPCHQuery(sys, db, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scan, err := NewScanQuery(sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchPair(b, sys, scan, q1, false)
+	}
+}
+
+// BenchmarkFig11Parallel — the TPC-H co-run in the epoch-parallel
+// simulation mode; compare ns/op against BenchmarkFig11.
+func BenchmarkFig11Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.RowsAgg = 1 << 18
+		p.Parallel = true
 		sys, err := NewSystem(p)
 		if err != nil {
 			b.Fatal(err)
@@ -382,6 +434,40 @@ func BenchmarkSimulatorAccess(b *testing.B) {
 			rnd = rnd*6364136223846793005 + 1442695040888963407
 			m.Access(1, region.Addr(rnd%region.Size), false)
 		}
+	}
+}
+
+// BenchmarkSimulatorAccessBatch measures the same access mix through
+// the batched front door (Machine.AccessBatch): sequential L1 hits
+// take the inlined fast path, everything else falls back to the full
+// Access walk with bit-identical results.
+func BenchmarkSimulatorAccessBatch(b *testing.B) {
+	cfg := cachesim.DefaultConfig().Scaled(16)
+	cfg.Cores = 4
+	m, err := cachesim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := memory.NewSpace()
+	region := space.Alloc("bench", 16<<20)
+	const chunk = 256
+	ops := make([]cachesim.BatchOp, chunk)
+	b.ResetTimer()
+	var seq uint64
+	rnd := uint64(12345)
+	for done := 0; done < b.N; {
+		n := min(chunk, b.N-done)
+		for i := 0; i < n; i++ {
+			if (done+i)%2 == 0 {
+				ops[i] = cachesim.BatchOp{Addr: region.Addr(seq % region.Size)}
+				seq += memory.LineSize
+			} else {
+				rnd = rnd*6364136223846793005 + 1442695040888963407
+				ops[i] = cachesim.BatchOp{Addr: region.Addr(rnd % region.Size)}
+			}
+		}
+		m.AccessBatch(0, ops[:n])
+		done += n
 	}
 }
 

@@ -50,11 +50,11 @@ import (
 
 	"cachepart/internal/adapt"
 	"cachepart/internal/cachesim"
-	"cachepart/internal/fault"
 	"cachepart/internal/cat"
 	"cachepart/internal/column"
 	"cachepart/internal/core"
 	"cachepart/internal/engine"
+	"cachepart/internal/fault"
 	"cachepart/internal/harness"
 	"cachepart/internal/sql"
 	"cachepart/internal/workload"

@@ -2,52 +2,87 @@ package cachesim
 
 import "cachepart/internal/cat"
 
-// entry is one cache line slot.
+// entry is one cache line slot, packed to 24 bytes so a set scan stays
+// within as few cache lines of the *host* as possible. The tag word
+// carries the line number plus the two small per-line attributes:
+//
+//	bits  0..55  line number + 1; 0 means invalid
+//	bits 56..62  CLOS of the filling core (LLC only, CMT attribution)
+//	bit  63      dirty
+//
+// 56 bits of line number cover 2^62 bytes of address space, far beyond
+// what the bump allocator can hand out.
 type entry struct {
-	tag   uint64 // line number + 1; 0 means invalid
-	ready int64  // tick at which the fill completes (prefetch in flight)
-	lru   uint32 // last-use stamp
-	dirty bool
-	// clos records, for LLC entries, the class of service of the core
-	// that filled the line — the RMID-style tag Cache Monitoring
-	// Technology attributes occupancy with.
-	clos uint8
+	tag   uint64
+	ready int64 // tick at which the fill completes (prefetch in flight)
+	lru   uint32
 	// owners is used only in the shared LLC: a bitmask of cores that
 	// pulled the line into their private caches since the fill, so an
 	// inclusive back-invalidation only has to visit those cores.
 	owners uint32
 }
 
+const (
+	tagLineBits  = 56
+	tagLineMask  = uint64(1)<<tagLineBits - 1
+	tagCLOSShift = tagLineBits
+	tagCLOSMask  = uint64(0x7f) << tagCLOSShift
+	tagDirtyBit  = uint64(1) << 63
+
+	// MaxCLOS is the widest class-of-service id the packed entry tag
+	// can attribute occupancy to.
+	MaxCLOS = 128
+)
+
+func (e entry) valid() bool  { return e.tag&tagLineMask != 0 }
+func (e entry) line() uint64 { return e.tag&tagLineMask - 1 }
+func (e entry) dirty() bool  { return e.tag&tagDirtyBit != 0 }
+func (e entry) clos() uint8  { return uint8(e.tag >> tagCLOSShift & 0x7f) }
+
+func (e *entry) setDirty()       { e.tag |= tagDirtyBit }
+func (e *entry) setCLOS(c uint8) { e.tag = e.tag&^tagCLOSMask | uint64(c)<<tagCLOSShift }
+
 // cache is one set-associative cache. It stores no data, only tags and
 // replacement state; the caller interprets hits and misses.
 type cache struct {
 	sets    int
 	ways    int
+	mask    uint64 // sets-1 when sets is a power of two
+	pow2    bool
 	entries []entry // sets*ways, way-major within a set
 	stamp   uint32
 }
 
 func newCache(g Geometry) cache {
+	sets := g.Sets()
 	return cache{
-		sets:    g.Sets(),
+		sets:    sets,
 		ways:    g.Ways,
-		entries: make([]entry, g.Sets()*g.Ways),
+		mask:    uint64(sets - 1),
+		pow2:    sets&(sets-1) == 0,
+		entries: make([]entry, sets*g.Ways),
 	}
 }
 
+// setIndex maps a line to its set. Private caches have power-of-two set
+// counts, so the common path is a single AND; the shared LLC at some
+// scales (e.g. 45056 sets) needs the modulo fallback.
 func (c *cache) setIndex(line uint64) int {
+	if c.pow2 {
+		return int(line & c.mask)
+	}
 	return int(line % uint64(c.sets))
 }
 
 // lookup finds the line. On a hit it refreshes the LRU stamp and
 // returns the entry. The tag convention stores line+1 so a zero entry
-// is invalid.
+// is invalid; flag bits are masked off before comparing.
 func (c *cache) lookup(line uint64) *entry {
 	base := c.setIndex(line) * c.ways
 	tag := line + 1
 	set := c.entries[base : base+c.ways]
 	for i := range set {
-		if set[i].tag == tag {
+		if set[i].tag&tagLineMask == tag {
 			c.stamp++
 			set[i].lru = c.stamp
 			return &set[i]
@@ -62,7 +97,7 @@ func (c *cache) peek(line uint64) *entry {
 	tag := line + 1
 	set := c.entries[base : base+c.ways]
 	for i := range set {
-		if set[i].tag == tag {
+		if set[i].tag&tagLineMask == tag {
 			return &set[i]
 		}
 	}
@@ -70,7 +105,7 @@ func (c *cache) peek(line uint64) *entry {
 }
 
 // fill inserts the line, evicting the LRU way. It returns the evicted
-// entry by value (tag 0 if the victim way was invalid) so the caller
+// entry by value (invalid if the victim way was empty) so the caller
 // can handle writebacks and inclusive invalidations.
 func (c *cache) fill(line uint64, ready int64) (victim entry, slot *entry) {
 	base := c.setIndex(line) * c.ways
@@ -124,7 +159,7 @@ func (c *cache) fillMasked(line uint64, ready int64, mask cat.WayMask) (victim e
 // invalidate drops the line if present, returning whether it was dirty.
 func (c *cache) invalidate(line uint64) (present, dirty bool) {
 	if e := c.peek(line); e != nil {
-		dirty = e.dirty
+		dirty = e.dirty()
 		*e = entry{}
 		return true, dirty
 	}
@@ -142,11 +177,10 @@ func (c *cache) flush() {
 func (c *cache) occupancy(loLine, hiLine uint64) int {
 	n := 0
 	for i := range c.entries {
-		t := c.entries[i].tag
-		if t == 0 {
+		if !c.entries[i].valid() {
 			continue
 		}
-		line := t - 1
+		line := c.entries[i].line()
 		if line >= loLine && line < hiLine {
 			n++
 		}

@@ -172,6 +172,9 @@ func (c Config) validate() error {
 	if c.NumCLOS <= 0 {
 		return fmt.Errorf("cachesim: CLOS count %d must be positive", c.NumCLOS)
 	}
+	if c.NumCLOS > MaxCLOS {
+		return fmt.Errorf("cachesim: CLOS count %d exceeds the %d the packed line tag can attribute", c.NumCLOS, MaxCLOS)
+	}
 	if c.MissParallelism < 0 {
 		return fmt.Errorf("cachesim: negative miss parallelism")
 	}

@@ -86,10 +86,10 @@ func TestMaskedFillsStayInMask(t *testing.T) {
 	for set := 0; set < m.llc.sets; set++ {
 		for way := 0; way < m.llc.ways; way++ {
 			e := m.llc.entries[set*m.llc.ways+way]
-			if e.tag == 0 {
+			if !e.valid() {
 				continue
 			}
-			line := e.tag - 1
+			line := e.line()
 			if line >= lo && line < hi && way >= 2 {
 				t.Fatalf("masked stream line in way %d of set %d", way, set)
 			}

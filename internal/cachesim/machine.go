@@ -336,7 +336,7 @@ func (m *Machine) Access(core int, addr memory.Addr, write bool) Level {
 	// L1.
 	if e := m.l1[core].lookup(line); e != nil {
 		if write {
-			e.dirty = true
+			e.setDirty()
 		}
 		st.L1Hits++
 		m.finish(core, start, m.l1Lat, 0)
@@ -403,6 +403,70 @@ func (m *Machine) Access(core int, addr memory.Addr, write bool) Level {
 	return DRAM
 }
 
+// BatchOp is one element of a batched access run: a memory reference
+// optionally followed by a compute step. Batching preserves the exact
+// Access/Compute call sequence, so results are bit-identical to the
+// unbatched loop; the win is amortized call overhead and an inlined
+// L1-hit fast path.
+type BatchOp struct {
+	Addr   memory.Addr
+	Write  bool
+	Cycles int64  // compute cycles charged after the access (0 = none)
+	Instrs uint64 // instructions retired by the compute step
+}
+
+// AccessBatch simulates a run of accesses on one core. It is exactly
+// equivalent to calling Access (and Compute, for elements with a cost)
+// once per element.
+func (m *Machine) AccessBatch(core int, ops []BatchOp) {
+	if m.tracer != nil {
+		for i := range ops {
+			op := &ops[i]
+			m.Access(core, op.Addr, op.Write)
+			if op.Cycles != 0 || op.Instrs != 0 {
+				m.Compute(core, op.Cycles, op.Instrs)
+			}
+		}
+		return
+	}
+	l1 := &m.l1[core]
+	st := &m.stats[core]
+	p := &m.pf[core]
+	pfOff := m.cfg.PrefetchDepth <= 0
+	for i := range ops {
+		op := &ops[i]
+		line := op.Addr.Line()
+		// Fast path: an L1 hit whose stream observation is a no-op
+		// (repeated touch within one line, or prefetching disabled)
+		// replicates Access inline without the level walk.
+		if pfOff || line == p.lastLine {
+			if e := l1.lookup(line); e != nil {
+				st.Instructions++
+				if op.Write {
+					st.Writes++
+					e.setDirty()
+				} else {
+					st.Reads++
+				}
+				st.L1Hits++
+				m.now[core] += m.l1Lat
+				st.StallTicks += m.l1Lat
+				if op.Cycles != 0 || op.Instrs != 0 {
+					t := op.Cycles * TicksPerCycle
+					m.now[core] += t
+					st.ComputeTicks += t
+					st.Instructions += op.Instrs
+				}
+				continue
+			}
+		}
+		m.Access(core, op.Addr, op.Write)
+		if op.Cycles != 0 || op.Instrs != 0 {
+			m.Compute(core, op.Cycles, op.Instrs)
+		}
+	}
+}
+
 // finish advances the core clock by cost ticks, attributing everything
 // beyond baseline to memory stall.
 func (m *Machine) finish(core int, start, cost, baseline int64) {
@@ -415,23 +479,23 @@ func (m *Machine) finish(core int, start, cost, baseline int64) {
 func (m *Machine) fillL1(core int, line uint64, write bool) {
 	victim, slot := m.l1[core].fill(line, m.now[core])
 	if write {
-		slot.dirty = true
+		slot.setDirty()
 	}
-	if victim.tag != 0 && victim.dirty {
+	if victim.valid() && victim.dirty() {
 		// Dirty L1 victim falls back to L2 (or LLC if L2 lost it).
-		if e := m.l2[core].peek(victim.tag - 1); e != nil {
-			e.dirty = true
-		} else if e := m.llc.peek(victim.tag - 1); e != nil {
-			e.dirty = true
+		if e := m.l2[core].peek(victim.line()); e != nil {
+			e.setDirty()
+		} else if e := m.llc.peek(victim.line()); e != nil {
+			e.setDirty()
 		}
 	}
 }
 
 func (m *Machine) fillL2(core int, line uint64) {
 	victim, _ := m.l2[core].fill(line, m.now[core])
-	if victim.tag != 0 && victim.dirty {
-		if e := m.llc.peek(victim.tag - 1); e != nil {
-			e.dirty = true
+	if victim.valid() && victim.dirty() {
+		if e := m.llc.peek(victim.line()); e != nil {
+			e.setDirty()
 		}
 	}
 }
@@ -445,16 +509,16 @@ func (m *Machine) fillLLC(core int, line uint64, ready int64) {
 	clos := m.regs.CLOSOf(core)
 	victim, slot := m.llc.fillMasked(line, ready, mask)
 	slot.owners = 1 << uint(core)
-	slot.clos = uint8(clos)
+	slot.setCLOS(uint8(clos))
 	m.llcOccupancy[clos]++
 	m.memTraffic[clos]++
-	if victim.tag == 0 {
+	if !victim.valid() {
 		return
 	}
-	m.llcOccupancy[victim.clos]--
-	dirty := victim.dirty
+	m.llcOccupancy[victim.clos()]--
+	dirty := victim.dirty()
 	if m.cfg.InclusiveLLC && victim.owners != 0 {
-		vline := victim.tag - 1
+		vline := victim.line()
 		for c := 0; victim.owners != 0; c++ {
 			bit := uint32(1) << uint(c)
 			if victim.owners&bit == 0 {
@@ -474,7 +538,7 @@ func (m *Machine) fillLLC(core int, line uint64, ready int64) {
 		// stall the core.
 		m.dramFree = max64(m.dramFree, m.now[core]) + m.dramService
 		m.stats[core].Writebacks++
-		m.memTraffic[victim.clos]++
+		m.memTraffic[victim.clos()]++
 	}
 }
 
@@ -551,9 +615,9 @@ func (m *Machine) prefetch(core int, line uint64) {
 	ready := begin + m.dramLat
 	m.fillLLC(core, line, ready)
 	victim, _ := m.l2[core].fill(line, ready)
-	if victim.tag != 0 && victim.dirty {
-		if e := m.llc.peek(victim.tag - 1); e != nil {
-			e.dirty = true
+	if victim.valid() && victim.dirty() {
+		if e := m.llc.peek(victim.line()); e != nil {
+			e.setDirty()
 		}
 	}
 	m.stats[core].PrefetchIssued++

@@ -1,0 +1,241 @@
+package cachesim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cachepart/internal/memory"
+)
+
+func parsimConfig() Config {
+	cfg := DefaultConfig().Scaled(64)
+	cfg.Cores = 4
+	return cfg
+}
+
+// batchPattern builds a mixed sequential/random access pattern with
+// per-element compute costs, the shape scan-style kernels submit.
+func batchPattern(rng *rand.Rand, n int) []BatchOp {
+	base := memory.Addr(memory.PageSize)
+	ops := make([]BatchOp, n)
+	for i := range ops {
+		var a memory.Addr
+		if i%4 != 3 {
+			a = base + memory.Addr(i)*memory.LineSize
+		} else {
+			a = base + memory.Addr(rng.Intn(1<<14))*memory.LineSize
+		}
+		ops[i] = BatchOp{
+			Addr:   a,
+			Write:  rng.Intn(8) == 0,
+			Cycles: int64(rng.Intn(3)),
+			Instrs: uint64(rng.Intn(4)),
+		}
+	}
+	return ops
+}
+
+// TestAccessBatchBitIdentical: AccessBatch must be exactly equivalent
+// to the unbatched Access/Compute loop.
+func TestAccessBatchBitIdentical(t *testing.T) {
+	cfg := parsimConfig()
+	ma, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		ops := batchPattern(rand.New(rand.NewSource(seed)), 4096)
+		for core := 0; core < cfg.Cores; core++ {
+			for i := range ops {
+				op := &ops[i]
+				ma.Access(core, op.Addr, op.Write)
+				if op.Cycles != 0 || op.Instrs != 0 {
+					ma.Compute(core, op.Cycles, op.Instrs)
+				}
+			}
+			mb.AccessBatch(core, ops)
+		}
+		for core := 0; core < cfg.Cores; core++ {
+			if ma.Stats(core) != mb.Stats(core) {
+				t.Fatalf("seed %d core %d stats diverge:\n loop  %+v\n batch %+v",
+					seed, core, ma.Stats(core), mb.Stats(core))
+			}
+			if ma.Now(core) != mb.Now(core) {
+				t.Fatalf("seed %d core %d clocks diverge: %d vs %d",
+					seed, core, ma.Now(core), mb.Now(core))
+			}
+		}
+		if ma.dramFree != mb.dramFree {
+			t.Fatalf("seed %d DRAM queues diverge: %d vs %d", seed, ma.dramFree, mb.dramFree)
+		}
+	}
+}
+
+// driveEpochs pushes the per-core patterns through an EpochSim in
+// epochs of the given number of accesses, visiting cores in the order
+// the perm function yields — a stand-in for arbitrary host scheduling.
+func driveEpochs(m *Machine, patterns [][]BatchOp, epoch int, perm func(n int) []int) {
+	es := m.NewEpochSim()
+	pos := make([]int, len(patterns))
+	for {
+		work := false
+		es.BeginEpoch()
+		for _, core := range perm(len(patterns)) {
+			cs := es.Core(core)
+			end := pos[core] + epoch
+			if end > len(patterns[core]) {
+				end = len(patterns[core])
+			}
+			for _, op := range patterns[core][pos[core]:end] {
+				cs.Access(op.Addr, op.Write)
+			}
+			if end > pos[core] {
+				work = true
+			}
+			pos[core] = end
+		}
+		es.Merge()
+		if !work {
+			return
+		}
+	}
+}
+
+// TestEpochSimOrderInvariant: the order workers execute within an
+// epoch must not influence any result — the property that makes the
+// parallel mode independent of host scheduling.
+func TestEpochSimOrderInvariant(t *testing.T) {
+	cfg := parsimConfig()
+	patterns := make([][]BatchOp, cfg.Cores)
+	for c := range patterns {
+		rng := rand.New(rand.NewSource(int64(c + 1)))
+		patterns[c] = batchPattern(rng, 6000)
+		// Give each core its own hot region plus overlap with core 0's,
+		// so fills, touches and back-invalidations cross cores.
+		off := memory.Addr(c%2) * (8 << 20)
+		for i := range patterns[c] {
+			patterns[c][i].Addr += off
+		}
+	}
+	forward, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backward, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveEpochs(forward, patterns, 512, func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	})
+	driveEpochs(backward, patterns, 512, func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = n - 1 - i
+		}
+		return out
+	})
+	for core := 0; core < cfg.Cores; core++ {
+		if forward.Stats(core) != backward.Stats(core) {
+			t.Fatalf("core %d stats depend on worker order:\n fwd %+v\n bwd %+v",
+				core, forward.Stats(core), backward.Stats(core))
+		}
+		if forward.Now(core) != backward.Now(core) {
+			t.Fatalf("core %d clock depends on worker order", core)
+		}
+	}
+	if forward.dramFree != backward.dramFree {
+		t.Fatalf("DRAM queue depends on worker order: %d vs %d", forward.dramFree, backward.dramFree)
+	}
+	for clos := 0; clos < cfg.NumCLOS; clos++ {
+		if forward.LLCOccupancyOfCLOS(clos) != backward.LLCOccupancyOfCLOS(clos) {
+			t.Fatalf("CLOS %d occupancy depends on worker order", clos)
+		}
+		if forward.MemTrafficOfCLOS(clos) != backward.MemTrafficOfCLOS(clos) {
+			t.Fatalf("CLOS %d traffic depends on worker order", clos)
+		}
+	}
+}
+
+// TestEpochSimWorkersRace drives the CoreSims from real goroutines so
+// the race detector sees the actual sharing pattern, and checks the
+// result matches the single-goroutine run bit for bit.
+func TestEpochSimWorkersRace(t *testing.T) {
+	cfg := parsimConfig()
+	patterns := make([][]BatchOp, cfg.Cores)
+	for c := range patterns {
+		patterns[c] = batchPattern(rand.New(rand.NewSource(int64(c+17))), 6000)
+	}
+
+	run := func(m *Machine, parallel bool) {
+		es := m.NewEpochSim()
+		pos := make([]int, len(patterns))
+		for {
+			work := false
+			for _, p := range pos {
+				if p < len(patterns[0]) {
+					work = true
+				}
+			}
+			if !work {
+				return
+			}
+			es.BeginEpoch()
+			var wg sync.WaitGroup
+			for core := range patterns {
+				step := func(core int) {
+					cs := es.Core(core)
+					end := pos[core] + 512
+					if end > len(patterns[core]) {
+						end = len(patterns[core])
+					}
+					cs.AccessBatch(patterns[core][pos[core]:end])
+					pos[core] = end
+				}
+				if parallel {
+					wg.Add(1)
+					go func(core int) {
+						defer wg.Done()
+						step(core)
+					}(core)
+				} else {
+					step(core)
+				}
+			}
+			wg.Wait()
+			es.Merge()
+		}
+	}
+
+	seq, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(seq, false)
+	run(par, true)
+	for core := 0; core < cfg.Cores; core++ {
+		if seq.Stats(core) != par.Stats(core) {
+			t.Fatalf("core %d: goroutine run diverges from sequential:\n seq %+v\n par %+v",
+				core, seq.Stats(core), par.Stats(core))
+		}
+		if seq.Now(core) != par.Now(core) {
+			t.Fatalf("core %d clock diverges", core)
+		}
+	}
+	if seq.dramFree != par.dramFree {
+		t.Fatalf("DRAM queue diverges: %d vs %d", seq.dramFree, par.dramFree)
+	}
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cachepart/internal/core"
+	"cachepart/internal/exec"
+)
+
+// serialMergeQuery models an aggregation pipeline whose second phase
+// shares order-sensitive state between kernels (like the agg-merge
+// phases in the workload package): it must carry Serial so the
+// parallel loop interleaves its kernels in virtual-time order.
+type serialMergeQuery struct {
+	rowsA, rowsB int
+}
+
+func (q *serialMergeQuery) Name() string { return "serial-merge" }
+
+func (q *serialMergeQuery) Plan(cores int, rng *rand.Rand) ([]Phase, error) {
+	partsA := PartitionRows(q.rowsA, cores)
+	ksA := make([]exec.Kernel, 0, len(partsA))
+	for _, p := range partsA {
+		ksA = append(ksA, &countKernel{remaining: p[1] - p[0]})
+	}
+	partsB := PartitionRows(q.rowsB, cores)
+	ksB := make([]exec.Kernel, 0, len(partsB))
+	for _, p := range partsB {
+		ksB = append(ksB, &countKernel{remaining: p[1] - p[0]})
+	}
+	return []Phase{
+		{Name: "local", CUID: core.Sensitive, Kernels: ksA, CountRows: true},
+		{Name: "merge", CUID: core.Sensitive, Kernels: ksB, Serial: true},
+	}, nil
+}
+
+func parallelSpecs() []StreamSpec {
+	return []StreamSpec{
+		{Query: &countQuery{name: "A", rowsPerExec: 600, cuid: core.Polluting}, Cores: []int{0, 1, 2, 3}},
+		{Query: &countQuery{name: "B", rowsPerExec: 400, cuid: core.Sensitive}, Cores: []int{4, 5, 6, 7}},
+	}
+}
+
+// TestRunParallelWorkerInvariant pins the parallel mode's core
+// contract (DESIGN.md §11): results are a pure function of the inputs;
+// the host worker count and run repetition change only wall-clock
+// time, never a single bit of the output.
+func TestRunParallelWorkerInvariant(t *testing.T) {
+	run := func(seed int64, workers int) []StreamResult {
+		t.Helper()
+		e := testEngine(t, true)
+		res, err := e.Run(parallelSpecs(), RunOptions{
+			Duration: 1e-4, Seed: seed, Parallel: true, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(42, 1)
+	for _, w := range []int{2, 4, 8} {
+		if got := run(42, w); !reflect.DeepEqual(base, got) {
+			t.Errorf("Workers=%d diverged from Workers=1:\n base: %+v\n  got: %+v", w, base, got)
+		}
+	}
+	if again := run(42, 4); !reflect.DeepEqual(base, again) {
+		t.Errorf("repeated same-seed parallel run diverged:\n first: %+v\nsecond: %+v", base, again)
+	}
+}
+
+// TestRunParallelEpochTicksInvariant checks that the lookahead horizon
+// is a performance knob, not a semantic one: shrinking the epoch just
+// adds barriers.
+func TestRunParallelEpochTicksInvariant(t *testing.T) {
+	run := func(epoch int64) []StreamResult {
+		t.Helper()
+		e := testEngine(t, true)
+		res, err := e.Run(parallelSpecs(), RunOptions{
+			Duration: 1e-4, Seed: 7, Parallel: true, Workers: 4, EpochTicks: epoch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(0) // engine default
+	for _, ep := range []int64{1 << 12, 1 << 14, 1 << 18} {
+		if got := run(ep); !reflect.DeepEqual(base, got) {
+			t.Errorf("EpochTicks=%d diverged from default:\n base: %+v\n  got: %+v", ep, base, got)
+		}
+	}
+}
+
+// TestRunParallelSerialPhase exercises a pipeline with a Serial phase
+// under the parallel loop: phase barriers must hold and the output must
+// stay worker-invariant when one task interleaves several cores.
+func TestRunParallelSerialPhase(t *testing.T) {
+	run := func(workers int) ([]StreamResult, *twoPhaseQuery) {
+		t.Helper()
+		e := testEngine(t, true)
+		tp := &twoPhaseQuery{rowsA: 500, rowsB: 300}
+		specs := []StreamSpec{
+			{Query: tp, Cores: []int{0, 1, 2, 3}},
+			{Query: &serialMergeQuery{rowsA: 400, rowsB: 200}, Cores: []int{4, 5, 6, 7}},
+		}
+		res, err := e.Run(specs, RunOptions{
+			Duration: 1e-4, Seed: 11, Parallel: true, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, tp
+	}
+
+	base, tp := run(1)
+	if tp.outOfOrder {
+		t.Error("phase B row ran before phase A drained (Workers=1)")
+	}
+	for _, w := range []int{2, 4} {
+		got, tp := run(w)
+		if tp.outOfOrder {
+			t.Errorf("phase B row ran before phase A drained (Workers=%d)", w)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("Workers=%d diverged from Workers=1 with Serial phase:\n base: %+v\n  got: %+v", w, base, got)
+		}
+	}
+}

@@ -47,6 +47,25 @@ type RunOptions struct {
 	// cores, which the shared DRAM queue is sensitive to. Default 1024
 	// ticks (64 cycles).
 	TargetSliceTicks int64
+
+	// Parallel selects the epoch-parallel simulation mode: each
+	// simulated core's private cache levels run in their own host
+	// goroutine between epoch barriers, with shared-state mutations
+	// buffered and merged in virtual-time order (cachesim parsim,
+	// DESIGN.md §11). Results are deterministic and independent of
+	// Workers, but follow the epoch semantics rather than the serial
+	// reference's per-access interleaving. Parallel runs are untraced.
+	Parallel bool
+	// Workers caps the host goroutines driving per-core simulation in
+	// parallel mode. 0 uses GOMAXPROCS. Changing Workers never changes
+	// results, only wall-clock time.
+	Workers int
+	// EpochTicks is the conservative lookahead horizon of parallel
+	// mode: cores simulate independently for this much virtual time
+	// between merge barriers. Smaller epochs track cross-core
+	// contention more closely; larger epochs amortize the barrier.
+	// Default 65536 ticks (4096 cycles).
+	EpochTicks int64
 }
 
 func (o *RunOptions) setDefaults() {
@@ -112,6 +131,10 @@ type kernelSlot struct {
 	// ticksPerRow is an EWMA of the kernel's cost used to budget
 	// time-uniform slices.
 	ticksPerRow float64
+	// rowsAcc accumulates rows processed since the last barrier; the
+	// parallel coordinator folds it into the stream's count there, so
+	// worker tasks never write shared stream state.
+	rowsAcc int64
 }
 
 // budgetFor sizes a slice so it advances about target ticks.
@@ -163,11 +186,59 @@ type stream struct {
 	ticksAtWarm int // executions recorded before warm-up
 }
 
+// binding ties one worker core to its stream and kernel slot.
+type binding struct{ core, si, slot int }
+
+// runState carries the shared prologue products of a run — streams,
+// core bindings, warm-up bookkeeping — between the serial and parallel
+// execution loops.
+type runState struct {
+	streams     []*stream
+	bindings    []binding
+	ctxs        []*exec.Ctx
+	ces         *epochState // controller clock, nil without a controller
+	durTicks    int64
+	warmTicks   int64
+	warmed      bool
+	statsAtWarm []cachesim.CoreStats
+}
+
+// snapshotWarm records the warm-up boundary state.
+func (rs *runState) snapshotWarm(e *Engine) {
+	rs.warmed = true
+	rs.statsAtWarm = e.m.CoreStatsSnapshot()
+	for _, st := range rs.streams {
+		st.rowsAtWarm = st.rows
+		st.execsAtWarm = st.execs
+		st.ticksAtWarm = len(st.execTicks)
+	}
+}
+
 // Run executes the streams concurrently in virtual time until the
 // simulated duration elapses, returning per-stream results. The
 // machine is reset first so runs are independent and deterministic.
+// With opts.Parallel the per-core private cache levels simulate on
+// multiple host goroutines under the epoch scheme; otherwise the
+// serial reference loop interleaves cores in min-clock order.
 func (e *Engine) Run(specs []StreamSpec, opts RunOptions) ([]StreamResult, error) {
 	opts.setDefaults()
+	rs, err := e.prepareRun(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Parallel {
+		if err := e.runParallel(rs, opts); err != nil {
+			return nil, err
+		}
+	} else if err := e.runSerial(rs, opts); err != nil {
+		return nil, err
+	}
+	return e.results(rs), nil
+}
+
+// prepareRun validates the specs, resets the machine, plans the first
+// execution of every stream and prewarms declared working sets.
+func (e *Engine) prepareRun(specs []StreamSpec, opts RunOptions) (*runState, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("engine: no streams")
 	}
@@ -205,7 +276,6 @@ func (e *Engine) Run(specs []StreamSpec, opts RunOptions) ([]StreamResult, error
 	streams := make([]*stream, len(specs))
 	// bindings lists (core, stream, slot) in ascending core order so
 	// scheduling ties break deterministically.
-	type binding struct{ core, si, slot int }
 	var bindings []binding
 	for i, spec := range specs {
 		st := &stream{
@@ -244,49 +314,57 @@ func (e *Engine) Run(specs []StreamSpec, opts RunOptions) ([]StreamResult, error
 	}
 	e.m.ZeroClocksAndStats()
 
-	durTicks := e.m.Ticks(opts.Duration)
-	warmTicks := e.m.Ticks(opts.Duration * opts.WarmupFraction)
-	warmed := false
-	var statsAtWarm []cachesim.CoreStats
+	return &runState{
+		streams:   streams,
+		bindings:  bindings,
+		ctxs:      ctxs,
+		ces:       es,
+		durTicks:  e.m.Ticks(opts.Duration),
+		warmTicks: e.m.Ticks(opts.Duration * opts.WarmupFraction),
+	}, nil
+}
 
+// minRunnable finds the least-advanced core with runnable work,
+// returning its binding index and clock, or -1 when nothing can run.
+func (e *Engine) minRunnable(rs *runState) (int, int64) {
+	minIdx := -1
+	var minNow int64
+	for bi, b := range rs.bindings {
+		st := rs.streams[b.si]
+		if b.slot >= len(st.slots) || st.slots[b.slot].done || st.slots[b.slot].kernel == nil {
+			continue
+		}
+		if now := e.m.Now(b.core); minIdx < 0 || now < minNow {
+			minIdx, minNow = bi, now
+		}
+	}
+	return minIdx, minNow
+}
+
+// runSerial is the reference execution loop: one slice at a time on
+// the globally least-advanced core.
+func (e *Engine) runSerial(rs *runState, opts RunOptions) error {
 	for {
-		// Pick the globally least-advanced core with runnable work.
-		minIdx := -1
-		var minNow int64
-		for bi, b := range bindings {
-			st := streams[b.si]
-			if b.slot >= len(st.slots) || st.slots[b.slot].done || st.slots[b.slot].kernel == nil {
-				continue
-			}
-			if now := e.m.Now(b.core); minIdx < 0 || now < minNow {
-				minIdx, minNow = bi, now
-			}
-		}
+		minIdx, minNow := e.minRunnable(rs)
 		if minIdx < 0 {
-			return nil, fmt.Errorf("engine: deadlock — no runnable kernels")
+			return fmt.Errorf("engine: deadlock — no runnable kernels")
 		}
-		if !warmed && minNow >= warmTicks {
-			warmed = true
-			statsAtWarm = e.m.CoreStatsSnapshot()
-			for _, st := range streams {
-				st.rowsAtWarm = st.rows
-				st.execsAtWarm = st.execs
-				st.ticksAtWarm = len(st.execTicks)
-			}
+		if !rs.warmed && minNow >= rs.warmTicks {
+			rs.snapshotWarm(e)
 		}
-		if minNow >= durTicks {
-			break
+		if minNow >= rs.durTicks {
+			return nil
 		}
-		if err := e.controllerTick(es, minNow, bindings[minIdx].core); err != nil {
-			return nil, err
+		if err := e.controllerTick(rs.ces, minNow, rs.bindings[minIdx].core); err != nil {
+			return err
 		}
 
-		b := bindings[minIdx]
-		st := streams[b.si]
+		b := rs.bindings[minIdx]
+		st := rs.streams[b.si]
 		slot := &st.slots[b.slot]
 		budget := slot.budgetFor(opts.TargetSliceTicks, opts.Quantum)
 		before := e.m.Now(b.core)
-		rows, done := slot.kernel.Step(ctxs[b.core], budget)
+		rows, done := slot.kernel.Step(rs.ctxs[b.core], budget)
 		slot.observe(rows, e.m.Now(b.core)-before)
 		if st.phases[st.phaseIdx].CountRows {
 			st.rows += int64(rows)
@@ -295,26 +373,29 @@ func (e *Engine) Run(specs []StreamSpec, opts RunOptions) ([]StreamResult, error
 			slot.done = true
 			if st.phaseDone() {
 				if err := e.advancePhase(st); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		} else if rows == 0 {
-			return nil, fmt.Errorf("engine: kernel %q/%s made no progress",
+			return fmt.Errorf("engine: kernel %q/%s made no progress",
 				st.spec.Query.Name(), st.phases[st.phaseIdx].Name)
 		}
 	}
+}
 
-	if !warmed {
-		statsAtWarm = make([]cachesim.CoreStats, e.m.Cores())
+// results builds the per-stream report over the post-warm-up window.
+func (e *Engine) results(rs *runState) []StreamResult {
+	warmTicks := rs.warmTicks
+	if !rs.warmed {
+		rs.statsAtWarm = make([]cachesim.CoreStats, e.m.Cores())
 		warmTicks = 0
 	}
-
-	results := make([]StreamResult, len(streams))
-	window := e.m.Seconds(durTicks - warmTicks)
-	for i, st := range streams {
+	results := make([]StreamResult, len(rs.streams))
+	window := e.m.Seconds(rs.durTicks - warmTicks)
+	for i, st := range rs.streams {
 		var delta cachesim.CoreStats
 		for _, c := range st.spec.Cores {
-			delta.Add(e.m.Stats(c).Sub(statsAtWarm[c]))
+			delta.Add(e.m.Stats(c).Sub(rs.statsAtWarm[c]))
 		}
 		rows := st.rows - st.rowsAtWarm
 		results[i] = StreamResult{
@@ -329,7 +410,7 @@ func (e *Engine) Run(specs []StreamSpec, opts RunOptions) ([]StreamResult, error
 			Degraded:      e.streamFaults[i].degraded,
 		}
 	}
-	return results, nil
+	return results
 }
 
 // phaseDone reports whether every kernel of the current phase

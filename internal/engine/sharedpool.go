@@ -22,6 +22,11 @@ import (
 // Workers prefer to continue jobs of the stream they last ran
 // (affinity) and steal from other streams otherwise, so mask writes
 // stay proportional to genuine class changes.
+//
+// opts.Parallel is ignored here: the pool re-associates resctrl groups
+// on every scheduling slice, a per-slice shared-state interaction the
+// epoch scheme cannot buffer, so shared-pool runs always use the
+// serial reference loop.
 func (e *Engine) RunSharedPool(queries []Query, opts RunOptions) ([]StreamResult, error) {
 	opts.setDefaults()
 	if len(queries) == 0 {

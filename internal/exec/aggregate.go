@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"cachepart/internal/cachesim"
 	"cachepart/internal/column"
 	"cachepart/internal/memory"
 )
@@ -45,25 +46,34 @@ func NewAggLocalKind(group, value *column.Column, from, to int, table *AggTable,
 	return &AggLocal{GroupCol: group, ValueCol: value, From: from, To: to, Table: table, Kind: kind, cur: from}, nil
 }
 
-// Step processes up to budget rows.
+// Step processes up to budget rows. The leading per-row reads (group
+// line, value line, dictionary entry) are submitted as one small batch;
+// the table probe keeps its own interleaved accesses, so the simulated
+// sequence is unchanged.
 func (a *AggLocal) Step(ctx *Ctx, budget int) (int, bool) {
 	g, v := a.GroupCol.Codes, a.ValueCol.Codes
 	gRegion, vRegion := g.Region(), v.Region()
 	processed := 0
+	var ops [3]cachesim.BatchOp
 	for processed < budget && a.cur < a.To {
+		n := 0
 		if gl := g.LineOfRow(a.cur); !a.started || gl != a.lastGLine {
-			ctx.Read(gRegion.Addr(gl * memory.LineSize))
+			ops[n] = cachesim.BatchOp{Addr: gRegion.Addr(gl * memory.LineSize)}
+			n++
 			a.lastGLine = gl
 		}
 		if vl := v.LineOfRow(a.cur); !a.started || vl != a.lastVLine {
-			ctx.Read(vRegion.Addr(vl * memory.LineSize))
+			ops[n] = cachesim.BatchOp{Addr: vRegion.Addr(vl * memory.LineSize)}
+			n++
 			a.lastVLine = vl
 		}
 		a.started = true
 		gcode := g.Get(a.cur)
 		vcode := v.Get(a.cur)
 		// Decompress the value: random dictionary access.
-		ctx.Read(a.ValueCol.Dict.Addr(vcode))
+		ops[n] = cachesim.BatchOp{Addr: a.ValueCol.Dict.Addr(vcode)}
+		n++
+		ctx.ReadBatch(ops[:n])
 		val := a.ValueCol.Dict.Value(vcode)
 		a.Table.Update(ctx, a.Kind, gcode, val)
 		ctx.Compute(AggCyclesPerRow, AggInstrsPerRow)

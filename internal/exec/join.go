@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"cachepart/internal/column"
 	"cachepart/internal/memory"
@@ -46,13 +47,15 @@ func (b *BitVector) Addr(key int64) memory.Addr {
 	return b.region.Addr(uint64(key-b.lo) / 8)
 }
 
-// Set marks a key present.
+// Set marks a key present. The OR is atomic so concurrent build
+// kernels of a parallel-mode run may share the vector: bit-sets
+// commute, so the final contents are independent of interleaving.
 func (b *BitVector) Set(key int64) {
 	i := uint64(key - b.lo)
 	if i >= b.n {
 		panic(fmt.Sprintf("exec: key %d outside bit vector domain", key))
 	}
-	b.words[i/64] |= 1 << (i % 64)
+	atomic.OrUint64(&b.words[i/64], 1<<(i%64))
 }
 
 // Test reports whether a key is present.

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"cachepart/internal/cachesim"
 	"cachepart/internal/column"
 	"cachepart/internal/memory"
 )
@@ -24,6 +25,8 @@ type IndexLookupProject struct {
 	projRow   int
 	projCol   int
 	Projected int64
+
+	ops []cachesim.BatchOp // scratch for the batched access fast path
 }
 
 // NewIndexLookupProject constructs the operator. keys[i] is probed in
@@ -58,15 +61,19 @@ func (p *IndexLookupProject) Step(ctx *Ctx, budget int) (int, bool) {
 		row := int(p.rows[p.projRow])
 		col := p.Project[p.projCol]
 		// Point access into the code vector, then the dictionary
-		// entry; wide (NVARCHAR-like) entries span several lines.
-		ctx.Read(col.Codes.Addr(row))
+		// entry; wide (NVARCHAR-like) entries span several lines. The
+		// whole run is one batch, the trailing element carrying the
+		// projection's compute cost.
+		p.ops = append(p.ops[:0], cachesim.BatchOp{Addr: col.Codes.Addr(row)})
 		code := col.Codes.Get(row)
 		base := uint64(code) * col.Dict.EntrySize()
 		for off := uint64(0); off < col.Dict.EntrySize(); off += memory.LineSize {
-			ctx.Read(col.Dict.Region().Addr(base + off))
+			p.ops = append(p.ops, cachesim.BatchOp{Addr: col.Dict.Region().Addr(base + off)})
 		}
+		p.ops[len(p.ops)-1].Cycles = LookupCyclesPerRow
+		p.ops[len(p.ops)-1].Instrs = LookupInstrsPerRow
+		ctx.ReadBatch(p.ops)
 		_ = col.Dict.Value(code)
-		ctx.Compute(LookupCyclesPerRow, LookupInstrsPerRow)
 		p.Projected++
 		processed++
 		p.projCol++

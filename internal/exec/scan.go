@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"cachepart/internal/cachesim"
 	"cachepart/internal/column"
 	"cachepart/internal/memory"
 )
@@ -25,6 +26,8 @@ type ColumnScan struct {
 
 	cur   int
 	Count int64
+
+	ops []cachesim.BatchOp // scratch for the batched access fast path
 }
 
 // NewColumnScan builds a scan counting rows with value > bound, the
@@ -53,9 +56,14 @@ func firstRowOfLine(v *column.PackedVector, line uint64) int {
 }
 
 // Step processes up to budget rows, one cache line of codes at a time.
+// The per-line [read, compute] pairs of a slice are submitted as one
+// batch, preserving the exact access sequence while amortizing the
+// per-reference simulator call overhead.
 func (s *ColumnScan) Step(ctx *Ctx, budget int) (int, bool) {
 	processed := 0
 	codes := s.Col.Codes
+	region := codes.Region()
+	s.ops = s.ops[:0]
 	for processed < budget && s.cur < s.To {
 		line := codes.LineOfRow(s.cur)
 		end := firstRowOfLine(codes, line+1)
@@ -65,12 +73,16 @@ func (s *ColumnScan) Step(ctx *Ctx, budget int) (int, bool) {
 		if end <= s.cur {
 			end = s.cur + 1 // codes wider than a line; defensive
 		}
-		ctx.Read(codes.Region().Addr(line * memory.LineSize))
+		s.ops = append(s.ops, cachesim.BatchOp{
+			Addr:   region.Addr(line * memory.LineSize),
+			Cycles: ScanCyclesPerLine,
+			Instrs: ScanInstrsPerLine,
+		})
 		s.Count += codes.CountInRange(s.cur, end, s.LoCode, s.HiCode)
-		ctx.Compute(ScanCyclesPerLine, ScanInstrsPerLine)
 		processed += end - s.cur
 		s.cur = end
 	}
+	ctx.ReadBatch(s.ops)
 	return processed, s.cur >= s.To
 }
 

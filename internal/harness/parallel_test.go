@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"cachepart/internal/engine"
+	"cachepart/internal/fault"
+)
+
+// parallelParams returns tiny-scale parameters with the epoch-parallel
+// simulation mode selected and the given host worker count.
+func parallelParams(seed int64, workers int) Params {
+	p := tinyParams()
+	p.Duration = 0.002
+	p.Seed = seed
+	p.Parallel = true
+	p.Workers = workers
+	return p
+}
+
+// runFig9Pair builds a fresh system and co-runs the Figure 9(b) pair —
+// polluting scan against the cache-sensitive aggregation on split
+// cores, partitioning on — returning the raw engine results so the
+// comparison covers every counter, not just derived measures.
+func runFig9Pair(t *testing.T, p Params) []engine.StreamResult {
+	t.Helper()
+	sys, err := NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := NewQ1(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := NewQ2(sys, 10_000_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetPartitioning(true); err != nil {
+		t.Fatal(err)
+	}
+	a, b := sys.SplitCores()
+	res, err := sys.Engine.Run([]engine.StreamSpec{
+		{Query: q1, Cores: a},
+		{Query: q2, Cores: b},
+	}, sys.runOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// runFig10Pair co-runs the Figure 10 pair: aggregation against the
+// bit-vector join at its cache-sensitive key count.
+func runFig10Pair(t *testing.T, p Params) []engine.StreamResult {
+	t.Helper()
+	sys, err := NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := NewQ2(sys, 10_000_000, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3, err := NewQ3(sys, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetPartitioning(true); err != nil {
+		t.Fatal(err)
+	}
+	a, b := sys.SplitCores()
+	res, err := sys.Engine.Run([]engine.StreamSpec{
+		{Query: q2, Cores: a},
+		{Query: q3, Cores: b},
+	}, sys.runOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestParallelWorkerEquivalenceFig9 pins the parallel mode's
+// determinism contract end to end through the harness on the paper's
+// headline co-run: for several seeds, a Workers=1 run and Workers=4
+// runs of the Figure 9(b) pair are bit-identical in every stream
+// counter, cache statistic and execution duration.
+func TestParallelWorkerEquivalenceFig9(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		base := runFig9Pair(t, parallelParams(seed, 1))
+		for _, w := range []int{4} {
+			if got := runFig9Pair(t, parallelParams(seed, w)); !reflect.DeepEqual(base, got) {
+				t.Errorf("seed %d: Workers=%d diverged from Workers=1:\n base: %+v\n  got: %+v",
+					seed, w, base, got)
+			}
+		}
+	}
+}
+
+// TestParallelWorkerEquivalenceFig10 repeats the worker-equivalence
+// check on the join co-run, whose probe phase stresses the shared
+// bit vector and the Depends mask path.
+func TestParallelWorkerEquivalenceFig10(t *testing.T) {
+	base := runFig10Pair(t, parallelParams(3, 1))
+	if got := runFig10Pair(t, parallelParams(3, 4)); !reflect.DeepEqual(base, got) {
+		t.Errorf("Workers=4 diverged from Workers=1 on the Fig 10 pair:\n base: %+v\n  got: %+v", base, got)
+	}
+}
+
+// TestParallelChaosEquivalence runs the Fig 9(b) pair with the fault
+// injector between the engine and its resctrl mount: faults fire from
+// the control plane's own seeded RNG at coordinator barriers, so
+// retries, degradations and every counter must still be independent of
+// the host worker count.
+func TestParallelChaosEquivalence(t *testing.T) {
+	run := func(workers int) []engine.StreamResult {
+		t.Helper()
+		p := parallelParams(5, workers)
+		sys, err := NewSystem(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q1, err := NewQ1(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, err := NewQ2(sys, 10_000_000, 10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.EnableChaos(fault.Uniform(0.3, 99)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.SetPartitioning(true); err != nil {
+			t.Fatal(err)
+		}
+		a, b := sys.SplitCores()
+		res, err := sys.Engine.Run([]engine.StreamSpec{
+			{Query: q1, Cores: a},
+			{Query: q2, Cores: b},
+		}, sys.runOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	if got := run(4); !reflect.DeepEqual(base, got) {
+		t.Errorf("Workers=4 diverged from Workers=1 under chaos:\n base: %+v\n  got: %+v", base, got)
+	}
+}

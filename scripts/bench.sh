@@ -1,0 +1,71 @@
+#!/bin/sh
+# bench.sh — measures the epoch-parallel simulation mode (DESIGN.md
+# §11) against the serial reference and the batched access fast path
+# against the per-call loop, then writes the results as BENCH_5.json
+# (format documented in EXPERIMENTS.md).
+#
+# Usage: bench.sh [output.json]
+#
+# The figure-level pairs (Fig 9 scan∥aggregation, Fig 11 scan∥TPC-H)
+# run the whole experiment per iteration; the simulator benches measure
+# the raw per-access cost. Parallel-mode speedup needs host cores to
+# spread over: the JSON records the host core count so a 1-core result
+# is read as what it is.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_5.json}"
+cores="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+
+echo "== go test -bench (figure co-runs, serial vs parallel)" >&2
+fig="$(go test -run '^$' -bench 'Fig9$|Fig9Parallel$|Fig11$|Fig11Parallel$' -benchtime 2x .)"
+echo "$fig" >&2
+
+echo "== go test -bench (simulator access, loop vs batch)" >&2
+acc="$(go test -run '^$' -bench 'SimulatorAccess$|SimulatorAccessBatch$' -benchtime 2000000x .)"
+echo "$acc" >&2
+
+printf '%s\n%s\n' "$fig" "$acc" | awk -v cores="$cores" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op") {
+			ns[name] = $(i - 1)
+		}
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"bench\": \"parsim — epoch-parallel simulation and batched access fast path\",\n"
+	printf "  \"host_cores\": %d,\n", cores
+	printf "  \"ns_per_op\": {\n"
+	n = 0
+	for (k in ns) order[n++] = k
+	# Fixed emission order keeps the file diffable run to run.
+	split("BenchmarkFig9 BenchmarkFig9Parallel BenchmarkFig11 BenchmarkFig11Parallel BenchmarkSimulatorAccess BenchmarkSimulatorAccessBatch", want, " ")
+	first = 1
+	for (i = 1; i <= 6; i++) {
+		k = want[i]
+		if (!(k in ns)) continue
+		if (!first) printf ",\n"
+		printf "    \"%s\": %s", k, ns[k]
+		first = 0
+	}
+	printf "\n  },\n"
+	printf "  \"speedup\": {\n"
+	printf "    \"fig9_parallel_over_serial\": %.3f,\n", ns["BenchmarkFig9"] / ns["BenchmarkFig9Parallel"]
+	printf "    \"fig11_parallel_over_serial\": %.3f,\n", ns["BenchmarkFig11"] / ns["BenchmarkFig11Parallel"]
+	printf "    \"access_batch_over_loop\": %.3f\n", ns["BenchmarkSimulatorAccess"] / ns["BenchmarkSimulatorAccessBatch"]
+	printf "  },\n"
+	if (cores < 4) {
+		printf "  \"note\": \"host has %d core(s); the parallel mode needs >=4 host cores to show its speedup — rerun there for the headline number\"\n", cores
+	} else {
+		printf "  \"note\": \"parallel-mode results are bit-identical to Workers=1 (see TestParallelWorkerEquivalenceFig9)\"\n"
+	}
+	printf "}\n"
+}' >"$out"
+
+echo "bench.sh: wrote $out" >&2
+cat "$out"

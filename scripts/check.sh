@@ -40,6 +40,9 @@ if [ "$mode" = test ] || [ "$mode" = all ]; then
 
 	echo '== go test -race (engine, cachesim)'
 	go test -race ./internal/engine/... ./internal/cachesim/...
+
+	echo '== go test -race (harness parallel-mode equivalence)'
+	go test -race -run 'Parallel' ./internal/harness/...
 fi
 
 if [ "$mode" = chaos ] || [ "$mode" = all ]; then

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint race chaos check bench
+.PHONY: build test lint perflint race chaos check bench
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,12 @@ test:
 
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/cachelint ./...
+	$(GO) run ./cmd/cachelint -baseline .cachelint-baseline.jsonl ./...
+
+# The performance tier alone: hot-path findings over the //perf:hot
+# reachability set, without the correctness tiers' runtime.
+perflint:
+	$(GO) run ./cmd/cachelint -tier=perf ./...
 
 race:
 	$(GO) test -race ./internal/engine/... ./internal/cachesim/...

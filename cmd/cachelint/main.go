@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	cachelint [-checks nondet,maskcheck,...] [-json] [-list] [packages]
+//	cachelint [-tier intra|inter|perf|all] [-checks nondet,...] [-baseline file] [-json] [-list] [packages]
 //
 // Packages default to ./... relative to the enclosing module. The
 // exit status is 0 when the tree is clean, 1 when diagnostics were
@@ -14,12 +14,24 @@
 // "file:line:col: [check] message"; intentional exceptions are
 // annotated in the source with "//lint:allow <check> <reason>".
 //
+// -tier selects one analysis tier — "intra" (single-package
+// correctness), "inter" (interprocedural correctness), "perf"
+// (hot-path performance over the //perf:hot reachability set) — or
+// "all" (the default). -checks narrows further to named checks.
+//
+// -baseline reads a JSONL file of accepted findings (same schema as
+// -json output) and suppresses any current finding matching an entry
+// by (file, check, message), ignoring line and column so unrelated
+// edits do not invalidate it. scripts/check.sh passes the checked-in
+// .cachelint-baseline.jsonl.
+//
 // With -json each diagnostic prints as one JSON object per line
-// (file, line, col, check, message, allowed). This mode additionally
-// includes findings suppressed by //lint:allow, marked "allowed":true,
-// so CI can audit the escape hatch; only unsuppressed findings set the
-// exit status. CI feeds this stream to a GitHub problem matcher
-// (.github/cachelint-matcher.json) to surface findings as annotations.
+// (file, line, col, check, tier, message, allowed). This mode
+// additionally includes findings suppressed by //lint:allow, marked
+// "allowed":true, so CI can audit the escape hatch; only unsuppressed
+// findings set the exit status. CI feeds this stream to a GitHub
+// problem matcher (.github/cachelint-matcher.json) to surface findings
+// as annotations.
 //
 // The tool builds from the standard library alone (go/parser, go/ast,
 // go/types with the source importer), so it needs no module
@@ -39,7 +51,9 @@ import (
 
 func main() {
 	var (
-		checks   = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		tier     = flag.String("tier", "all", "analysis tier to run: intra, inter, perf or all")
+		checks   = flag.String("checks", "", "comma-separated subset of checks to run (default: the selected tier)")
+		baseline = flag.String("baseline", "", "JSONL file of accepted findings to suppress, matched by (file, check, message)")
 		list     = flag.Bool("list", false, "list the available checks and exit")
 		jsonMode = flag.Bool("json", false, "print one JSON object per diagnostic, including allowed findings")
 	)
@@ -51,7 +65,7 @@ func main() {
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %-6s %s\n", a.Name, a.Tier, a.Doc)
 		}
 		return
 	}
@@ -65,7 +79,11 @@ func main() {
 		fatal(err)
 	}
 
-	analyzers, err := selectAnalyzers(*checks)
+	analyzers, err := selectAnalyzers(*tier, *checks)
+	if err != nil {
+		fatal(err)
+	}
+	accepted, err := loadBaseline(*baseline)
 	if err != nil {
 		fatal(err)
 	}
@@ -106,14 +124,22 @@ func main() {
 
 	cfg := lint.DefaultConfig(loader.Module)
 	cfg.ReportAllowed = *jsonMode
+	tierOf := make(map[string]string)
+	for _, a := range lint.Analyzers() {
+		tierOf[a.Name] = a.Tier
+	}
 	diags := lint.Run(loader, pkgs, analyzers, cfg)
-	failing := 0
+	failing, baselined := 0, 0
 	for _, d := range diags {
 		pos := d.Pos
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 				pos.Filename = rel
 			}
+		}
+		if accepted[baselineKey(pos.Filename, d.Check, d.Message)] {
+			baselined++
+			continue
 		}
 		if !d.Allowed {
 			failing++
@@ -124,6 +150,7 @@ func main() {
 				Line:    pos.Line,
 				Col:     pos.Column,
 				Check:   d.Check,
+				Tier:    tierOf[d.Check],
 				Message: d.Message,
 				Allowed: d.Allowed,
 			})
@@ -134,6 +161,9 @@ func main() {
 			continue
 		}
 		fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Check, d.Message)
+	}
+	if baselined > 0 {
+		fmt.Fprintf(os.Stderr, "cachelint: %d finding(s) suppressed by baseline %s\n", baselined, *baseline)
 	}
 	if failing > 0 {
 		fmt.Fprintf(os.Stderr, "cachelint: %d problem(s) in %d package(s)\n", failing, len(pkgs))
@@ -148,13 +178,27 @@ type jsonDiagnostic struct {
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
 	Check   string `json:"check"`
+	Tier    string `json:"tier"`
 	Message string `json:"message"`
 	Allowed bool   `json:"allowed"`
 }
 
-// selectAnalyzers resolves the -checks flag against the registry.
-func selectAnalyzers(checks string) ([]*lint.Analyzer, error) {
-	all := lint.Analyzers()
+// selectAnalyzers resolves the -tier and -checks flags against the
+// registry; -checks narrows within the selected tier's suite (or, as
+// before tiers existed, the full suite under the default tier).
+func selectAnalyzers(tier, checks string) ([]*lint.Analyzer, error) {
+	if tier != "all" {
+		known := false
+		for _, t := range lint.Tiers() {
+			if t == tier {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("cachelint: unknown tier %q (intra, inter, perf or all)", tier)
+		}
+	}
+	all := lint.AnalyzersForTier(tier)
 	if checks == "" {
 		return all, nil
 	}
@@ -167,11 +211,44 @@ func selectAnalyzers(checks string) ([]*lint.Analyzer, error) {
 		name = strings.TrimSpace(name)
 		a, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("cachelint: unknown check %q (use -list)", name)
+			return nil, fmt.Errorf("cachelint: unknown check %q in tier %q (use -list)", name, tier)
 		}
 		out = append(out, a)
 	}
 	return out, nil
+}
+
+// baselineKey is the identity a baseline entry matches on: file, check
+// and message, but not line or column, so edits elsewhere in the file
+// do not invalidate accepted findings.
+func baselineKey(file, check, message string) string {
+	return file + "\x00" + check + "\x00" + message
+}
+
+// loadBaseline reads a JSONL baseline of accepted findings. Blank
+// lines and #-comments are skipped, so an empty baseline can document
+// its own format.
+func loadBaseline(path string) (map[string]bool, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cachelint: reading baseline: %w", err)
+	}
+	accepted := make(map[string]bool)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var d jsonDiagnostic
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			return nil, fmt.Errorf("cachelint: baseline %s:%d: %v", path, i+1, err)
+		}
+		accepted[baselineKey(d.File, d.Check, d.Message)] = true
+	}
+	return accepted, nil
 }
 
 // findModuleRoot walks up from the working directory to the nearest

@@ -1,0 +1,107 @@
+package cachesim
+
+// fillTable maps cache-line numbers to fill-ready ticks for one core's
+// in-epoch fills. It replaces a map[uint64]int64 on the per-access
+// parallel path: open addressing over two flat arrays costs one
+// multiplicative hash and a short predictable probe instead of a
+// bucket walk, and clearing between epochs is a single memclr that
+// reuses the backing arrays, so the steady state allocates nothing.
+//
+// Keys are stored as line+1 so that zero marks an empty slot; line
+// numbers themselves start above zero (address zero is never handed
+// out) but the bias makes the table correct regardless.
+type fillTable struct {
+	keys  []uint64 // line+1; 0 marks an empty slot
+	vals  []int64
+	n     int
+	mask  uint64
+	shift uint
+}
+
+// fillTableMinSlots is the initial capacity. Power of two; sized so
+// that typical per-epoch fill counts never trigger growth.
+const fillTableMinSlots = 1024
+
+func newFillTable() *fillTable {
+	return &fillTable{
+		keys:  make([]uint64, fillTableMinSlots),
+		vals:  make([]int64, fillTableMinSlots),
+		mask:  fillTableMinSlots - 1,
+		shift: 64 - 10, // 2^10 == fillTableMinSlots
+	}
+}
+
+// slot hashes a biased key to its home slot. Fibonacci multiplicative
+// hashing keeps the sequential line numbers of scan traffic from
+// clustering; taking the high bits makes the low-entropy low product
+// bits irrelevant.
+func (t *fillTable) slot(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> t.shift
+}
+
+// get returns the ready tick recorded for line, if any.
+func (t *fillTable) get(line uint64) (int64, bool) {
+	key := line + 1
+	for i := t.slot(key); ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case key:
+			return t.vals[i], true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+// put records (or updates) the ready tick for line.
+func (t *fillTable) put(line uint64, ready int64) {
+	if t.n >= len(t.keys)/2 {
+		t.grow()
+	}
+	key := line + 1
+	for i := t.slot(key); ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case key:
+			t.vals[i] = ready
+			return
+		case 0:
+			t.keys[i] = key
+			t.vals[i] = ready
+			t.n++
+			return
+		}
+	}
+}
+
+// grow doubles the table and reinserts live entries. The load-factor
+// cap in put keeps probes short; growth stops once the table matches
+// the largest epoch seen, because reset reuses the arrays.
+func (t *fillTable) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	//lint:allow hotalloc amortized doubling; reset reuses the arrays so growth stops once the table matches the largest epoch
+	t.keys = make([]uint64, 2*len(oldKeys))
+	//lint:allow hotalloc amortized doubling, paired with the key array above
+	t.vals = make([]int64, 2*len(oldVals))
+	t.mask = uint64(len(t.keys) - 1)
+	t.shift--
+	for i, key := range oldKeys {
+		if key == 0 {
+			continue
+		}
+		for j := t.slot(key); ; j = (j + 1) & t.mask {
+			if t.keys[j] == 0 {
+				t.keys[j] = key
+				t.vals[j] = oldVals[i]
+				break
+			}
+		}
+	}
+}
+
+// reset empties the table in place for the next epoch.
+func (t *fillTable) reset() {
+	if t.n == 0 {
+		return
+	}
+	clear(t.keys)
+	t.n = 0
+}

@@ -321,6 +321,8 @@ func (m *Machine) Compute(core int, cycles int64, instrs uint64) {
 // Access simulates one memory reference by the core and advances its
 // clock by the access cost. It returns the level that satisfied the
 // access. Each access retires one instruction.
+//
+//perf:hot executed once per simulated memory reference
 func (m *Machine) Access(core int, addr memory.Addr, write bool) Level {
 	line := addr.Line()
 	st := &m.stats[core]
@@ -418,10 +420,13 @@ type BatchOp struct {
 // AccessBatch simulates a run of accesses on one core. It is exactly
 // equivalent to calling Access (and Compute, for elements with a cost)
 // once per element.
+//
+//perf:hot the batched form of the per-access path
 func (m *Machine) AccessBatch(core int, ops []BatchOp) {
 	if m.tracer != nil {
 		for i := range ops {
 			op := &ops[i]
+			//lint:allow hotbatch this is the batch implementation; per-element Access is its defined semantics
 			m.Access(core, op.Addr, op.Write)
 			if op.Cycles != 0 || op.Instrs != 0 {
 				m.Compute(core, op.Cycles, op.Instrs)
@@ -460,6 +465,7 @@ func (m *Machine) AccessBatch(core int, ops []BatchOp) {
 				continue
 			}
 		}
+		//lint:allow hotbatch this is the batch implementation; the slow path falls back to per-element Access
 		m.Access(core, op.Addr, op.Write)
 		if op.Cycles != 0 || op.Instrs != 0 {
 			m.Compute(core, op.Cycles, op.Instrs)

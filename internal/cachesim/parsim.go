@@ -72,8 +72,9 @@ type CoreSim struct {
 
 	// fills records the lines this core brought in during the current
 	// epoch (line → ready tick), so repeated accesses see them even
-	// though the shared LLC is frozen.
-	fills map[uint64]int64
+	// though the shared LLC is frozen. Open-addressed rather than a Go
+	// map: this sits on the per-access path.
+	fills *fillTable
 
 	events []parEvent
 }
@@ -94,7 +95,7 @@ func (m *Machine) NewEpochSim() *EpochSim {
 		cursor: make([]int, m.cfg.Cores),
 	}
 	for c := range es.cores {
-		es.cores[c] = &CoreSim{m: m, core: c, fills: make(map[uint64]int64)}
+		es.cores[c] = &CoreSim{m: m, core: c, fills: newFillTable()}
 	}
 	return es
 }
@@ -113,6 +114,8 @@ func (es *EpochSim) BeginEpoch() {
 // Merge applies all buffered events to the shared LLC, DRAM queue and
 // CMT/MBM counters in (tick, core, seq) order, then clears the buffers
 // for the next epoch. Workers must be quiescent.
+//
+//perf:hot drains every buffered shared-state event, once per epoch barrier
 func (es *EpochSim) Merge() {
 	idx := es.cursor
 	for i := range idx {
@@ -141,7 +144,7 @@ func (es *EpochSim) Merge() {
 	}
 	for _, cs := range es.cores {
 		cs.events = cs.events[:0]
-		clear(cs.fills)
+		cs.fills.reset()
 	}
 }
 
@@ -231,6 +234,8 @@ func (cs *CoreSim) Compute(cycles int64, instrs uint64) {
 // Access simulates one memory reference within the current epoch. It
 // mirrors Machine.Access level by level; only the shared-state touches
 // differ, buffered as events.
+//
+//perf:hot the parallel-mode counterpart of Machine.Access
 func (cs *CoreSim) Access(addr memory.Addr, write bool) Level {
 	m := cs.m
 	core := cs.core
@@ -271,7 +276,7 @@ func (cs *CoreSim) Access(addr memory.Addr, write bool) Level {
 	}
 
 	// LLC — own in-epoch fills first, then the frozen shared image.
-	if ready, ok := cs.fills[line]; ok {
+	if ready, ok := cs.fills.get(line); ok {
 		cs.hitLLC(line, start, ready, write, st)
 		return LLC
 	}
@@ -290,7 +295,7 @@ func (cs *CoreSim) Access(addr memory.Addr, write bool) Level {
 	if stall < m.dramStall {
 		stall = m.dramStall
 	}
-	cs.fills[line] = ready
+	cs.fills.put(line, ready)
 	cs.event(evFill, start, line, ready)
 	cs.fillL2(line)
 	cs.fillL1(line, write)
@@ -381,7 +386,7 @@ func (cs *CoreSim) prefetch(line uint64) {
 	if cs.dramFree-m.now[core] > m.pfDropQueue {
 		return
 	}
-	if _, ok := cs.fills[line]; ok {
+	if _, ok := cs.fills.get(line); ok {
 		return
 	}
 	if m.llc.peek(line) != nil || m.l2[core].peek(line) != nil {
@@ -390,7 +395,7 @@ func (cs *CoreSim) prefetch(line uint64) {
 	begin := max64(m.now[core], cs.dramFree)
 	cs.dramFree = begin + m.dramService
 	ready := begin + m.dramLat
-	cs.fills[line] = ready
+	cs.fills.put(line, ready)
 	cs.event(evFill, m.now[core], line, ready)
 	victim, _ := m.l2[core].fill(line, ready)
 	if victim.valid() && victim.dirty() {
@@ -402,9 +407,12 @@ func (cs *CoreSim) prefetch(line uint64) {
 // AccessBatch simulates a run of accesses, each optionally followed by
 // a compute step, preserving the exact Access/Compute sequence of the
 // unbatched calls.
+//
+//perf:hot the batched form of the parallel per-access path
 func (cs *CoreSim) AccessBatch(ops []BatchOp) {
 	for i := range ops {
 		op := &ops[i]
+		//lint:allow hotbatch this is the batch implementation; per-element Access is its defined semantics
 		cs.Access(op.Addr, op.Write)
 		if op.Cycles != 0 || op.Instrs != 0 {
 			cs.m.Compute(cs.core, op.Cycles, op.Instrs)

@@ -33,6 +33,7 @@ func (m *Machine) traceAccess(core int, addr memory.Addr, write bool, level Leve
 	if m.tracer == nil {
 		return
 	}
+	//lint:allow hotdispatch tracing is an opt-in debug facility behind the nil check; devirtualizing would couple Machine to CSVTracer
 	m.tracer.Trace(TraceEvent{
 		Tick:  m.now[core],
 		Core:  core,

@@ -35,11 +35,17 @@ func (e *Engine) runParallel(rs *runState, opts RunOptions) error {
 		epochTicks = 1 << 16
 	}
 
+	// Tasks are plain values in a slice reused across epochs: one
+	// epoch's worth of closure-and-pointer allocations per barrier adds
+	// up over the millions of epochs a long run executes.
 	type task struct {
-		run func() error
-		err error
+		st     *stream
+		slot   *kernelSlot
+		core   int
+		serial bool
+		err    error
 	}
-	var tasks []*task
+	var tasks []task
 
 	for {
 		minIdx, minNow := e.minRunnable(rs)
@@ -62,9 +68,7 @@ func (e *Engine) runParallel(rs *runState, opts RunOptions) error {
 			if st.phases[st.phaseIdx].Serial {
 				// Kernels sharing order-sensitive state run as one
 				// task, interleaved in virtual-time order.
-				tasks = append(tasks, &task{run: func() error {
-					return e.stepStreamInterleaved(st, pctxs, horizon, opts)
-				}})
+				tasks = append(tasks, task{st: st, serial: true})
 				continue
 			}
 			for i := range st.slots {
@@ -76,16 +80,21 @@ func (e *Engine) runParallel(rs *runState, opts RunOptions) error {
 				if e.m.Now(core) >= horizon {
 					continue
 				}
-				tasks = append(tasks, &task{run: func() error {
-					return e.stepSlot(st, s, pctxs[core], core, horizon, opts)
-				}})
+				tasks = append(tasks, task{st: st, slot: s, core: core})
+			}
+		}
+		runTask := func(t *task) {
+			if t.serial {
+				t.err = e.stepStreamInterleaved(t.st, pctxs, horizon, opts)
+			} else {
+				t.err = e.stepSlot(t.st, t.slot, pctxs[t.core], t.core, horizon, opts)
 			}
 		}
 
 		es.BeginEpoch()
 		if n := min(workers, len(tasks)); n <= 1 {
-			for _, t := range tasks {
-				t.err = t.run()
+			for i := range tasks {
+				runTask(&tasks[i])
 			}
 		} else {
 			var next atomic.Int64
@@ -99,16 +108,16 @@ func (e *Engine) runParallel(rs *runState, opts RunOptions) error {
 						if i >= len(tasks) {
 							return
 						}
-						tasks[i].err = tasks[i].run()
+						runTask(&tasks[i])
 					}
 				}()
 			}
 			wg.Wait()
 		}
 		es.Merge()
-		for _, t := range tasks {
-			if t.err != nil {
-				return t.err
+		for i := range tasks {
+			if tasks[i].err != nil {
+				return tasks[i].err
 			}
 		}
 
@@ -134,6 +143,8 @@ func (e *Engine) runParallel(rs *runState, opts RunOptions) error {
 // stepSlot advances one kernel slot on its core until the slot
 // finishes or the core's clock reaches the epoch horizon. It touches
 // only slot- and core-owned state.
+//
+//perf:hot per-epoch worker body in parallel mode
 func (e *Engine) stepSlot(st *stream, s *kernelSlot, ctx *exec.Ctx, core int, horizon int64, opts RunOptions) error {
 	for !s.done && e.m.Now(core) < horizon {
 		budget := s.budgetFor(opts.TargetSliceTicks, opts.Quantum)
@@ -156,6 +167,8 @@ func (e *Engine) stepSlot(st *stream, s *kernelSlot, ctx *exec.Ctx, core int, ho
 // stepStreamInterleaved runs all kernels of one stream's serial phase
 // in min-clock order up to the horizon — the serial scheduling rule,
 // scoped to the one stream whose kernels share mutable state.
+//
+//perf:hot per-epoch serial-stream body in parallel mode
 func (e *Engine) stepStreamInterleaved(st *stream, ctxs []*exec.Ctx, horizon int64, opts RunOptions) error {
 	for {
 		minSlot := -1

@@ -201,7 +201,9 @@ func (t *AggTable) grow(ctx *Ctx) {
 	oldRegion := t.region
 	t.grows++
 	newCap := len(old) * 2
+	//lint:allow hotalloc amortized doubling rehash, O(log n) occurrences; expected-group sizing normally prevents it
 	t.slots = make([]aggSlot, newCap)
+	//lint:allow hotalloc region naming happens only on the amortized grow path
 	t.region = t.space.Alloc(fmt.Sprintf("%s.g%d", t.name, t.grows), uint64(newCap)*slotBytes)
 	t.count = 0
 	for i := range old {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"cachepart/internal/cachesim"
 	"cachepart/internal/column"
 	"cachepart/internal/memory"
 )
@@ -105,6 +106,7 @@ type JoinBuild struct {
 	cur      int
 	lastLine uint64
 	started  bool
+	ops      []cachesim.BatchOp
 }
 
 // NewJoinBuild constructs the build phase over [from, to).
@@ -115,24 +117,33 @@ func NewJoinBuild(keys *column.Column, from, to int, bv *BitVector) (*JoinBuild,
 	return &JoinBuild{KeyCol: keys, From: from, To: to, BV: bv, cur: from}, nil
 }
 
-// Step processes up to budget rows.
+// Step processes up to budget rows. The per-row accesses — an optional
+// key-line read and the bit-vector write carrying the row's compute
+// cost — are accumulated and submitted as one batch, preserving the
+// exact per-row Access/Compute sequence.
+//
+//perf:hot join build kernel inner loop
 func (j *JoinBuild) Step(ctx *Ctx, budget int) (int, bool) {
 	codes := j.KeyCol.Codes
 	region := codes.Region()
 	processed := 0
+	j.ops = j.ops[:0]
 	for processed < budget && j.cur < j.To {
 		if l := codes.LineOfRow(j.cur); !j.started || l != j.lastLine {
-			ctx.Read(region.Addr(l * memory.LineSize))
+			j.ops = append(j.ops, cachesim.BatchOp{Addr: region.Addr(l * memory.LineSize)})
 			j.lastLine = l
 			j.started = true
 		}
 		key := j.KeyCol.Dict.Value(codes.Get(j.cur))
-		ctx.Write(j.BV.Addr(key))
+		j.ops = append(j.ops, cachesim.BatchOp{
+			Addr: j.BV.Addr(key), Write: true,
+			Cycles: JoinCyclesPerRow, Instrs: JoinInstrsPerRow,
+		})
 		j.BV.Set(key)
-		ctx.Compute(JoinCyclesPerRow, JoinInstrsPerRow)
 		j.cur++
 		processed++
 	}
+	ctx.ReadBatch(j.ops)
 	return processed, j.cur >= j.To
 }
 
@@ -156,6 +167,7 @@ type JoinProbe struct {
 	lastLine uint64
 	started  bool
 	Matches  int64
+	ops      []cachesim.BatchOp
 }
 
 // NewJoinProbe constructs the probe phase over [from, to).
@@ -166,26 +178,34 @@ func NewJoinProbe(fks *column.Column, from, to int, bv *BitVector) (*JoinProbe, 
 	return &JoinProbe{FKCol: fks, From: from, To: to, BV: bv, cur: from}, nil
 }
 
-// Step processes up to budget rows.
+// Step processes up to budget rows. As in the build phase, the per-row
+// accesses are accumulated and submitted as one batch; the match count
+// is real data and stays inline.
+//
+//perf:hot join probe kernel inner loop
 func (j *JoinProbe) Step(ctx *Ctx, budget int) (int, bool) {
 	codes := j.FKCol.Codes
 	region := codes.Region()
 	processed := 0
+	j.ops = j.ops[:0]
 	for processed < budget && j.cur < j.To {
 		if l := codes.LineOfRow(j.cur); !j.started || l != j.lastLine {
-			ctx.Read(region.Addr(l * memory.LineSize))
+			j.ops = append(j.ops, cachesim.BatchOp{Addr: region.Addr(l * memory.LineSize)})
 			j.lastLine = l
 			j.started = true
 		}
 		key := j.FKCol.Dict.Value(codes.Get(j.cur))
-		ctx.Read(j.BV.Addr(key))
+		j.ops = append(j.ops, cachesim.BatchOp{
+			Addr:   j.BV.Addr(key),
+			Cycles: JoinCyclesPerRow, Instrs: JoinInstrsPerRow,
+		})
 		if j.BV.Test(key) {
 			j.Matches++
 		}
-		ctx.Compute(JoinCyclesPerRow, JoinInstrsPerRow)
 		j.cur++
 		processed++
 	}
+	ctx.ReadBatch(j.ops)
 	return processed, j.cur >= j.To
 }
 

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"cachepart/internal/cachesim"
 	"cachepart/internal/column"
 	"cachepart/internal/memory"
 )
@@ -37,6 +38,7 @@ type PKLookupProject struct {
 	projRow   int
 	projCol   int
 	Projected int64
+	ops       []cachesim.BatchOp
 }
 
 // NewPKLookupProject constructs the operator.
@@ -68,6 +70,8 @@ func (p *PKLookupProject) Rows() []uint32 { return p.rows }
 
 // Step advances the operator; row-units are candidate verifications
 // and column projections.
+//
+//perf:hot primary-key lookup kernel inner loop
 func (p *PKLookupProject) Step(ctx *Ctx, budget int) (int, bool) {
 	processed := 0
 	for processed < budget {
@@ -113,9 +117,11 @@ func (p *PKLookupProject) probe(ctx *Ctx) int {
 	}
 	ctx.Read(p.Index.HeaderAddr(code))
 	postings := p.Index.PostingsOf(code)
+	p.ops = p.ops[:0]
 	for k := 0; k < len(postings); k += 16 {
-		ctx.Read(p.Index.PostingAddr(code, k))
+		p.ops = append(p.ops, cachesim.BatchOp{Addr: p.Index.PostingAddr(code, k)})
 	}
+	ctx.ReadBatch(p.ops)
 	ctx.Compute(int64(len(postings)/8+1), uint64(len(postings)/4+2))
 	p.cands = append(p.cands[:0], postings...)
 	if len(postings) > 0 {
@@ -130,13 +136,15 @@ func (p *PKLookupProject) verifyOne(ctx *Ctx) {
 	row := int(p.cands[p.verifyIdx])
 	p.verifyIdx++
 	match := true
+	p.ops = p.ops[:0]
 	for i, col := range p.ResidualCols {
-		ctx.Read(col.Codes.Addr(row))
+		p.ops = append(p.ops, cachesim.BatchOp{Addr: col.Codes.Addr(row)})
 		if col.Value(row) != p.ResidualKeys[i] {
 			match = false
 			break // short-circuit like a real residual filter
 		}
 	}
+	ctx.ReadBatch(p.ops)
 	ctx.Compute(LookupCyclesPerRow, LookupInstrsPerRow)
 	if match {
 		p.rows = append(p.rows, uint32(row))
@@ -148,12 +156,13 @@ func (p *PKLookupProject) verifyOne(ctx *Ctx) {
 func (p *PKLookupProject) projectOne(ctx *Ctx) {
 	row := int(p.rows[p.projRow])
 	col := p.Project[p.projCol]
-	ctx.Read(col.Codes.Addr(row))
+	p.ops = append(p.ops[:0], cachesim.BatchOp{Addr: col.Codes.Addr(row)})
 	code := col.Codes.Get(row)
 	base := uint64(code) * col.Dict.EntrySize()
 	for off := uint64(0); off < col.Dict.EntrySize(); off += memory.LineSize {
-		ctx.Read(col.Dict.Region().Addr(base + off))
+		p.ops = append(p.ops, cachesim.BatchOp{Addr: col.Dict.Region().Addr(base + off)})
 	}
+	ctx.ReadBatch(p.ops)
 	_ = col.Dict.Value(code)
 	ctx.Compute(LookupCyclesPerRow, LookupInstrsPerRow)
 	p.Projected++

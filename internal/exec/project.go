@@ -48,6 +48,8 @@ func (p *IndexLookupProject) Rows() []uint32 { return p.rows }
 // Step advances the operator. Row-units are index postings scanned or
 // column values projected, so budget bounds memory traffic as for the
 // other kernels.
+//
+//perf:hot index-lookup projection kernel inner loop
 func (p *IndexLookupProject) Step(ctx *Ctx, budget int) (int, bool) {
 	processed := 0
 	for processed < budget {
@@ -113,10 +115,12 @@ func (p *IndexLookupProject) probeOne(ctx *Ctx) int {
 	ctx.Read(ix.HeaderAddr(code))
 	postings := ix.PostingsOf(code)
 	// Read the posting list, one access per touched line (16 row ids
-	// per 64-byte line).
+	// per 64-byte line), submitted as one batch.
+	p.ops = p.ops[:0]
 	for k := 0; k < len(postings); k += 16 {
-		ctx.Read(ix.PostingAddr(code, k))
+		p.ops = append(p.ops, cachesim.BatchOp{Addr: ix.PostingAddr(code, k)})
 	}
+	ctx.ReadBatch(p.ops)
 	ctx.Compute(int64(len(postings)/8+1), uint64(len(postings)/4+2))
 
 	if p.phase == 1 {

@@ -59,6 +59,8 @@ func firstRowOfLine(v *column.PackedVector, line uint64) int {
 // The per-line [read, compute] pairs of a slice are submitted as one
 // batch, preserving the exact access sequence while amortizing the
 // per-reference simulator call overhead.
+//
+//perf:hot column-scan kernel inner loop
 func (s *ColumnScan) Step(ctx *Ctx, budget int) (int, bool) {
 	processed := 0
 	codes := s.Col.Codes

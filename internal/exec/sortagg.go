@@ -39,7 +39,10 @@ type SortAggLocal struct {
 	lastVLine uint64
 	started   bool
 	bucket    int
-	result    map[uint32]int64
+	// MAX per group, indexed by group code — dense because codes are
+	// dictionary positions; resultSet marks groups actually seen.
+	resultVal []int64
+	resultSet []bool
 }
 
 type aggPair struct {
@@ -66,17 +69,18 @@ func NewSortAggLocal(space *memory.Space, group, value *column.Column, from, to 
 	// simulated only, so slack costs no real memory.
 	size := uint64(rows*2+buckets*8) * pairBytes
 	a := &SortAggLocal{
-		GroupCol: group,
-		ValueCol: value,
-		From:     from,
-		To:       to,
-		Buckets:  buckets,
-		space:    space,
-		region:   space.Alloc("sortagg", size),
-		pairs:    make([][]aggPair, buckets),
-		offsets:  make([]uint64, buckets),
-		cur:      from,
-		result:   make(map[uint32]int64),
+		GroupCol:  group,
+		ValueCol:  value,
+		From:      from,
+		To:        to,
+		Buckets:   buckets,
+		space:     space,
+		region:    space.Alloc("sortagg", size),
+		pairs:     make([][]aggPair, buckets),
+		offsets:   make([]uint64, buckets),
+		cur:       from,
+		resultVal: make([]int64, group.Dict.Len()),
+		resultSet: make([]bool, group.Dict.Len()),
 	}
 	// Partition the simulated area evenly across buckets.
 	per := size / uint64(buckets)
@@ -86,8 +90,18 @@ func NewSortAggLocal(space *memory.Space, group, value *column.Column, from, to 
 	return a, nil
 }
 
-// Result returns MAX per group after the kernel completes.
-func (a *SortAggLocal) Result() map[uint32]int64 { return a.result }
+// Result returns MAX per group after the kernel completes. The map is
+// materialised from the dense per-code array on each call; the kernel
+// itself never touches a map.
+func (a *SortAggLocal) Result() map[uint32]int64 {
+	out := make(map[uint32]int64)
+	for g, set := range a.resultSet {
+		if set {
+			out[uint32(g)] = a.resultVal[g]
+		}
+	}
+	return out
+}
 
 // bucketOf spreads group codes across buckets.
 func (a *SortAggLocal) bucketOf(g uint32) int {
@@ -96,6 +110,8 @@ func (a *SortAggLocal) bucketOf(g uint32) int {
 
 // Step advances the kernel; row-units are scattered rows (stage 0) or
 // aggregated pairs (stage 1).
+//
+//perf:hot sort-aggregation kernel inner loop
 func (a *SortAggLocal) Step(ctx *Ctx, budget int) (int, bool) {
 	processed := 0
 	for processed < budget {
@@ -155,8 +171,9 @@ func (a *SortAggLocal) Step(ctx *Ctx, budget int) (int, bool) {
 					ctx.Read(a.region.Addr(base + uint64(a.cur)*pairBytes%(per-pairBytes)))
 				}
 				p := pairs[a.cur]
-				if cur, ok := a.result[p.group]; !ok || p.val > cur {
-					a.result[p.group] = p.val
+				if !a.resultSet[p.group] || p.val > a.resultVal[p.group] {
+					a.resultSet[p.group] = true
+					a.resultVal[p.group] = p.val
 				}
 				ctx.Compute(2, 4)
 				a.cur++

@@ -81,6 +81,10 @@ type Program struct {
 	SCCs [][]*FuncNode
 
 	byObj map[*types.Func]*FuncNode
+	// hot memoizes the //perf:hot reachability set shared by the
+	// performance-tier analyzers (hotness.go); module analyzers run
+	// serially, so the lazy fill is race-free.
+	hot map[*FuncNode]hotInfo
 }
 
 // NodeOf returns the program node of a function object, nil when the

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotbatch flags per-element simulated-access calls inside hot loops
+// when a batch counterpart exists. The batched entry points
+// (Machine.AccessBatch, Ctx.ReadBatch) amortize the per-call overhead
+// — bounds checks, epoch bookkeeping, the L1 fast-path dispatch — over
+// a whole run of operations while staying bit-identical to the
+// per-call sequence (a BatchOp is exactly Access-then-Compute, and
+// consecutive Computes fold linearly), so converting a loop is a pure
+// mechanical win. The per-element/batch pairing comes from
+// Config.BatchFuncs.
+//
+// Only unconditional per-iteration calls are flagged: a guarded access
+// (probe hit, residual filter) has data-dependent membership that a
+// precomputed batch cannot express without changing the simulated
+// sequence.
+var HotBatch = &Analyzer{
+	Name:      "hotbatch",
+	Tier:      TierPerf,
+	Doc:       "no unconditional per-element access calls in //perf:hot loops when a batch counterpart applies",
+	RunModule: runHotBatch,
+}
+
+func runHotBatch(p *ModulePass) {
+	if len(p.Config.BatchFuncs) == 0 {
+		return
+	}
+	forEachHotFunc(p, func(fn *FuncNode, info hotInfo) {
+		typesInfo := fn.Pkg.Info
+		w := &hotWalker{visit: func(n ast.Node, inLoop, cond bool) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !inLoop || cond {
+				return
+			}
+			callee, ok := calleeObj(typesInfo, call).(*types.Func)
+			if !ok {
+				return
+			}
+			if batch, ok := p.Config.BatchFuncs[funcQualified(callee)]; ok {
+				reportHot(p, fn, info, call.Pos(),
+					"per-element %s call on every loop iteration; accumulate BatchOps and flush once with %s", callee.Name(), batch)
+			}
+		}}
+		w.walkBody(fn.Decl.Body)
+	})
+}

@@ -1,0 +1,31 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// hotdefer flags defer statements in hot functions. A defer costs a
+// deferred-call record per invocation and (when the function's defer
+// set is not open-coded) a runtime dispatch on return; on a function
+// executed once per simulated memory access that overhead is pure
+// hot-path tax. The fix is to call the cleanup explicitly on each
+// return path — hot functions here are short enough that the loss of
+// panic-safety is acceptable and documented.
+var HotDefer = &Analyzer{
+	Name:      "hotdefer",
+	Tier:      TierPerf,
+	Doc:       "no defer in //perf:hot functions; call cleanups explicitly on each return path",
+	RunModule: runHotDefer,
+}
+
+func runHotDefer(p *ModulePass) {
+	forEachHotFunc(p, func(fn *FuncNode, info hotInfo) {
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				reportHot(p, fn, info, d.Pos(),
+					"defer costs a deferred-call record per invocation; call the cleanup explicitly on each return path")
+			}
+			return true
+		})
+	})
+}

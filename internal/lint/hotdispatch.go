@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotdispatch flags interface method calls in hot code that have
+// exactly one concrete implementation in the module. Dynamic dispatch
+// on the per-access path costs an indirect call the compiler cannot
+// inline and blocks escape analysis of the arguments; when the whole
+// module contains a single type satisfying the interface, the
+// abstraction is paying that cost for no polymorphism. The fix is to
+// devirtualize: store the concrete type, or gate the interface behind
+// a nil check off the hot path.
+//
+// Interfaces with zero or multiple module implementations pass clean —
+// the former is satisfied outside the analyzed set, the latter is real
+// polymorphism.
+var HotDispatch = &Analyzer{
+	Name:      "hotdispatch",
+	Tier:      TierPerf,
+	Doc:       "no interface method calls in //perf:hot code whose callee set resolves to a single module type",
+	RunModule: runHotDispatch,
+}
+
+func runHotDispatch(p *ModulePass) {
+	impls := make(map[*types.Interface][]string)
+	forEachHotFunc(p, func(fn *FuncNode, info hotInfo) {
+		typesInfo := fn.Pkg.Info
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := typesInfo.Selections[sel]
+			if selection == nil || selection.Kind() != types.MethodVal {
+				return true
+			}
+			recv := selection.Recv()
+			if _, isTypeParam := recv.(*types.TypeParam); isTypeParam {
+				return true
+			}
+			iface, ok := recv.Underlying().(*types.Interface)
+			if !ok || iface.NumMethods() == 0 {
+				return true
+			}
+			names, cached := impls[iface]
+			if !cached {
+				names = moduleImplementations(p.Prog, iface)
+				impls[iface] = names
+			}
+			if len(names) == 1 {
+				reportHot(p, fn, info, call.Pos(),
+					"interface call %s.%s dispatches dynamically but %s is its only module implementation; devirtualize",
+					ifaceName(recv), sel.Sel.Name, names[0])
+			}
+			return true
+		})
+	})
+}
+
+// moduleImplementations lists the named module types satisfying the
+// interface (by value or pointer receiver), in deterministic package
+// and scope order.
+func moduleImplementations(prog *Program, iface *types.Interface) []string {
+	var names []string
+	for _, pkg := range prog.Pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+				names = append(names, tn.Name())
+			}
+		}
+	}
+	return names
+}
+
+// ifaceName renders the receiver interface type for messages, without
+// the package path qualifier.
+func ifaceName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	s := t.String()
+	if i := strings.LastIndex(s, "."); i >= 0 && !strings.Contains(s, "{") {
+		return s[i+1:]
+	}
+	return s
+}

@@ -71,6 +71,12 @@ type Config struct {
 	// the results, marked Allowed — the machine-readable mode surfaces
 	// them so reviewers can audit the escape hatch.
 	ReportAllowed bool
+
+	// BatchFuncs maps qualified per-element access functions
+	// ("pkgpath.Recv.Name") to the name of their batch counterpart. The
+	// hotbatch analyzer flags unconditional per-iteration calls to a key
+	// inside hot loops and suggests the value.
+	BatchFuncs map[string]string
 }
 
 // DefaultConfig returns the repository's production configuration.
@@ -95,6 +101,12 @@ func DefaultConfig(module string) Config {
 			module + "/internal/cachesim.Machine.Ticks",
 			module + "/internal/engine.StreamResult.Percentile",
 		},
+		BatchFuncs: map[string]string{
+			module + "/internal/cachesim.Machine.Access": "Machine.AccessBatch",
+			module + "/internal/cachesim.CoreSim.Access": "CoreSim.AccessBatch",
+			module + "/internal/exec.Ctx.Read":           "Ctx.ReadBatch",
+			module + "/internal/exec.Ctx.Write":          "Ctx.ReadBatch",
+		},
 	}
 }
 
@@ -109,6 +121,10 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description of the invariant the check guards.
 	Doc string
+	// Tier groups analyzers for selection by cmd/cachelint -tier:
+	// "intra" (single-package correctness), "inter" (interprocedural
+	// correctness), or "perf" (hot-path performance).
+	Tier string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 	// RunModule inspects the whole analyzed package set at once.

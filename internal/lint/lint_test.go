@@ -177,6 +177,44 @@ func TestTimeUnitsGolden(t *testing.T) {
 	runGolden(t, "timefix", []*Analyzer{TimeUnits})
 }
 
+// TestPerfFixGolden pins the whole performance tier on one fixture:
+// hotness roots and propagation, every hotalloc shape (including the
+// cross-package summary surfaced at the call site), single-
+// implementation dispatch, defer, integer-keyed maps and per-element
+// access loops — alongside the //lint:allow-suppressed and fixed
+// variants, which must stay silent.
+func TestPerfFixGolden(t *testing.T) {
+	runGolden(t, "perffix", AnalyzersForTier(TierPerf))
+}
+
+// TestAnalyzersForTier pins the tier partition: every analyzer is in
+// exactly one tier, tier selection preserves suite order, and ""/"all"
+// mean the full suite.
+func TestAnalyzersForTier(t *testing.T) {
+	all := Analyzers()
+	total := 0
+	for _, tier := range Tiers() {
+		sel := AnalyzersForTier(tier)
+		if len(sel) == 0 {
+			t.Errorf("tier %q selects no analyzers", tier)
+		}
+		total += len(sel)
+		for _, a := range sel {
+			if a.Tier != tier {
+				t.Errorf("tier %q selected %s (tier %q)", tier, a.Name, a.Tier)
+			}
+		}
+	}
+	if total != len(all) {
+		t.Errorf("tiers cover %d analyzers, suite has %d", total, len(all))
+	}
+	for _, tier := range []string{"", "all"} {
+		if got := len(AnalyzersForTier(tier)); got != len(all) {
+			t.Errorf("AnalyzersForTier(%q) = %d analyzers, want %d", tier, got, len(all))
+		}
+	}
+}
+
 func TestLockOrderGolden(t *testing.T) {
 	runGolden(t, "lockorderfix", []*Analyzer{LockOrder})
 }

@@ -29,6 +29,7 @@ import (
 // interface dispatch contributes no edges (DESIGN.md §9).
 var LockOrder = &Analyzer{
 	Name:      "lockorder",
+	Tier:      TierInter,
 	Doc:       "no cycles in the interprocedural lock-acquisition order; no call that reacquires a held lock",
 	RunModule: runLockOrder,
 }

@@ -27,6 +27,7 @@ import (
 // literals are scanned as separate bodies.
 var LockSafety = &Analyzer{
 	Name: "locks",
+	Tier: TierIntra,
 	Doc:  "no locks copied by value; no lock held across a blocking channel op",
 	Run:  runLockSafety,
 }

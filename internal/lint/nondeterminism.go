@@ -29,6 +29,7 @@ import (
 // routine before applying.
 var Nondeterminism = &Analyzer{
 	Name: "nondet",
+	Tier: TierIntra,
 	Doc:  "reject wall-clock reads, global math/rand, order-sensitive map iteration, and unsorted channel drains in simulation code",
 	Run:  runNondeterminism,
 }

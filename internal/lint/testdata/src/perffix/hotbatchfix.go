@@ -1,0 +1,54 @@
+package perffix
+
+import (
+	"cachepart/internal/cachesim"
+	"cachepart/internal/memory"
+)
+
+// HotBatchPerElement pays the per-call overhead once per element.
+//
+//perf:hot fixture root: per-access entry point
+func HotBatchPerElement(m *cachesim.Machine, addrs []memory.Addr) {
+	for _, a := range addrs {
+		m.Access(0, a, false) // want "per-element Access call on every loop iteration"
+	}
+}
+
+// HotBatchGuarded passes clean: membership is data-dependent, a
+// precomputed batch cannot express it.
+//
+//perf:hot fixture root: per-access entry point
+func HotBatchGuarded(m *cachesim.Machine, addrs []memory.Addr, pick func(memory.Addr) bool) {
+	for _, a := range addrs {
+		if pick(a) {
+			m.Access(0, a, false)
+		}
+	}
+}
+
+// batchKernel carries the reusable scratch slice of the fixed
+// variant, the idiom the real kernels use.
+type batchKernel struct {
+	ops []cachesim.BatchOp
+}
+
+// HotBatchFixed accumulates BatchOps and flushes once.
+//
+//perf:hot fixture root: per-access entry point
+func (k *batchKernel) HotBatchFixed(m *cachesim.Machine, addrs []memory.Addr) {
+	k.ops = k.ops[:0]
+	for _, a := range addrs {
+		k.ops = append(k.ops, cachesim.BatchOp{Addr: a})
+	}
+	m.AccessBatch(0, k.ops)
+}
+
+// HotBatchAllowed documents an accepted per-element loop.
+//
+//perf:hot fixture root: per-access entry point
+func HotBatchAllowed(m *cachesim.Machine, addrs []memory.Addr) {
+	for _, a := range addrs {
+		//lint:allow hotbatch fixture: this is the batch implementation itself
+		m.Access(0, a, false)
+	}
+}

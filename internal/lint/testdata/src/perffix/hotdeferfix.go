@@ -1,0 +1,32 @@
+package perffix
+
+import "sync"
+
+// HotDeferFlagged pays a deferred-call record per invocation.
+//
+//perf:hot fixture root: per-access entry point
+func HotDeferFlagged(mu *sync.Mutex, n int) int {
+	mu.Lock()
+	defer mu.Unlock() // want "defer costs a deferred-call record per invocation"
+	return n + 1
+}
+
+// HotDeferFixed unlocks explicitly on its single return path.
+//
+//perf:hot fixture root: per-access entry point
+func HotDeferFixed(mu *sync.Mutex, n int) int {
+	mu.Lock()
+	v := n + 1
+	mu.Unlock()
+	return v
+}
+
+// HotDeferAllowed documents an accepted defer.
+//
+//perf:hot fixture root: per-access entry point
+func HotDeferAllowed(mu *sync.Mutex, n int) int {
+	mu.Lock()
+	//lint:allow hotdefer fixture: panic safety matters more here
+	defer mu.Unlock()
+	return n + 1
+}

@@ -1,0 +1,51 @@
+package perffix
+
+// Stepper has exactly one module implementation, so hot calls through
+// it pay dynamic dispatch for no polymorphism.
+type Stepper interface{ StepFix(n int) int }
+
+// FixKernel is Stepper's only implementation.
+type FixKernel struct{ acc int }
+
+func (k *FixKernel) StepFix(n int) int { k.acc += n; return k.acc }
+
+// Multi has two implementations: real polymorphism, passes clean.
+type Multi interface{ MultiFix() int }
+
+type multiA struct{}
+
+func (multiA) MultiFix() int { return 1 }
+
+type multiB struct{}
+
+func (multiB) MultiFix() int { return 2 }
+
+// HotDispatchSingle calls through the single-implementation interface.
+//
+//perf:hot fixture root: per-access entry point
+func HotDispatchSingle(s Stepper, n int) int {
+	return s.StepFix(n) // want "interface call Stepper.StepFix dispatches dynamically but FixKernel is its only module implementation"
+}
+
+// HotDispatchMulti passes clean: two implementations.
+//
+//perf:hot fixture root: per-access entry point
+func HotDispatchMulti(m Multi) int {
+	return m.MultiFix()
+}
+
+// HotDispatchFixed passes clean: the concrete type is stored, no
+// interface on the hot path.
+//
+//perf:hot fixture root: per-access entry point
+func HotDispatchFixed(k *FixKernel, n int) int {
+	return k.StepFix(n)
+}
+
+// HotDispatchAllowed documents an accepted dispatch.
+//
+//perf:hot fixture root: per-access entry point
+func HotDispatchAllowed(s Stepper, n int) int {
+	//lint:allow hotdispatch fixture: opt-in debug facility
+	return s.StepFix(n)
+}

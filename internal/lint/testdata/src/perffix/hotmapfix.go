@@ -1,0 +1,44 @@
+package perffix
+
+// HotMapOps holds the three flagged integer-keyed map operations.
+//
+//perf:hot fixture root: per-access entry point
+func HotMapOps(m map[uint64]int64, lines []uint64) int64 {
+	var total int64
+	for _, l := range lines {
+		total += m[l] // want "map access keyed by uint64"
+	}
+	for l, v := range m { // want "map iteration keyed by uint64"
+		total += v + int64(l)
+	}
+	delete(m, 0) // want "map delete keyed by uint64"
+	return total
+}
+
+// HotMapStringKeys passes clean: no dense substitute exists for
+// string keys.
+//
+//perf:hot fixture root: per-access entry point
+func HotMapStringKeys(m map[string]int) int {
+	return m["k"]
+}
+
+// HotMapFixed is the dense-slice replacement; indexing a slice is not
+// a map operation.
+//
+//perf:hot fixture root: per-access entry point
+func HotMapFixed(vals []int64, lines []uint64) int64 {
+	var total int64
+	for _, l := range lines {
+		total += vals[l]
+	}
+	return total
+}
+
+// HotMapAllowed documents an accepted map.
+//
+//perf:hot fixture root: per-access entry point
+func HotMapAllowed(m map[int]int) int {
+	//lint:allow hotmap fixture: key space is sparse, a dense table would not fit
+	return m[3]
+}

@@ -1,0 +1,17 @@
+// Package phelper is the dependency-only helper for the perffix
+// fixture. It is loaded for its interprocedural allocation summaries
+// but never analyzed directly, so hotalloc must surface its
+// allocations at the hot call sites in perffix — the cross-package
+// reporting rule under test.
+package phelper
+
+// Wrap allocates directly: its summary carries the slice literal.
+func Wrap(a, b int) []int {
+	return []int{a, b}
+}
+
+// Chain allocates only through Wrap: its summary is Wrap's, extended
+// with the via chain.
+func Chain(a, b int) []int {
+	return Wrap(a, b)
+}

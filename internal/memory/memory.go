@@ -73,7 +73,6 @@ func NewSpace() *Space {
 // valid base address.
 func (s *Space) Alloc(name string, size uint64) Region {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if size == 0 {
 		size = PageSize
 	}
@@ -81,6 +80,7 @@ func (s *Space) Alloc(name string, size uint64) Region {
 	pages := (size + PageSize - 1) / PageSize
 	s.next += Addr(pages * PageSize)
 	s.regions = append(s.regions, r)
+	s.mu.Unlock()
 	return r
 }
 
@@ -90,13 +90,13 @@ func (s *Space) Alloc(name string, size uint64) Region {
 // removes the region from the inventory.
 func (s *Space) Free(r Region) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for i := range s.regions {
 		if s.regions[i].Base == r.Base {
 			s.regions = append(s.regions[:i], s.regions[i+1:]...)
-			return
+			break
 		}
 	}
+	s.mu.Unlock()
 }
 
 // Allocated reports the total bytes currently allocated.

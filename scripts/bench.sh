@@ -1,8 +1,11 @@
 #!/bin/sh
 # bench.sh — measures the epoch-parallel simulation mode (DESIGN.md
 # §11) against the serial reference and the batched access fast path
-# against the per-call loop, then writes the results as BENCH_5.json
-# (format documented in EXPERIMENTS.md).
+# against the per-call loop, then writes the results as BENCH_6.json
+# (format documented in EXPERIMENTS.md). After writing, the fresh run
+# is compared against the most recent committed BENCH_*.json and a
+# per-benchmark delta table is printed — regressions warn, they do not
+# fail, because ns/op across different hosts is not comparable.
 #
 # Usage: bench.sh [output.json]
 #
@@ -15,7 +18,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 cores="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
 
 echo "== go test -bench (figure co-runs, serial vs parallel)" >&2
@@ -69,3 +72,42 @@ END {
 
 echo "bench.sh: wrote $out" >&2
 cat "$out"
+
+# Per-benchmark comparison against the most recent other BENCH_*.json
+# (version-sorted), if one is committed.
+prev=""
+for f in $(ls BENCH_*.json 2>/dev/null | sort -V); do
+	[ "$f" = "$out" ] && continue
+	prev="$f"
+done
+if [ -n "$prev" ]; then
+	echo "== delta vs $prev (ns/op; negative is faster, >5% slower warns)" >&2
+	awk -v prevfile="$prev" -v curfile="$out" '
+	function load(file, arr,    line, k, v) {
+		while ((getline line < file) > 0) {
+			if (line ~ /"Benchmark[A-Za-z0-9]+":/) {
+				k = line
+				sub(/^[ \t]*"/, "", k)
+				sub(/".*$/, "", k)
+				v = line
+				sub(/^[^:]*:[ \t]*/, "", v)
+				sub(/[,\r \t]*$/, "", v)
+				arr[k] = v + 0
+			}
+		}
+		close(file)
+	}
+	BEGIN {
+		load(prevfile, old)
+		load(curfile, cur)
+		split("BenchmarkFig9 BenchmarkFig9Parallel BenchmarkFig11 BenchmarkFig11Parallel BenchmarkSimulatorAccess BenchmarkSimulatorAccessBatch", want, " ")
+		printf "%-30s %14s %14s %9s\n", "benchmark", "prev", "cur", "delta"
+		for (i = 1; i <= 6; i++) {
+			k = want[i]
+			if (!(k in cur) || !(k in old) || old[k] == 0) continue
+			d = (cur[k] - old[k]) / old[k] * 100
+			flag = (d > 5) ? "  WARN: slower than " prevfile : ""
+			printf "%-30s %14.0f %14.0f %+8.1f%%%s\n", k, old[k], cur[k], d, flag
+		}
+	}' >&2
+fi

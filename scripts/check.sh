@@ -30,8 +30,10 @@ if [ "$mode" = lint ] || [ "$mode" = all ]; then
 	echo '== go vet ./...'
 	go vet ./...
 
-	echo '== go run ./cmd/cachelint ./...'
-	go run ./cmd/cachelint ./...
+	# All three tiers (intra, inter, perf) against the checked-in
+	# baseline of accepted findings.
+	echo '== go run ./cmd/cachelint -baseline .cachelint-baseline.jsonl ./...'
+	go run ./cmd/cachelint -baseline .cachelint-baseline.jsonl ./...
 fi
 
 if [ "$mode" = test ] || [ "$mode" = all ]; then

@@ -385,6 +385,29 @@ func BenchmarkAdaptiveVsStatic(b *testing.B) {
 	}
 }
 
+// BenchmarkServe — one FigServe sweep at the 1.0× saturation point:
+// seeded arrival generation, admission, CLOS-aware dispatch and the
+// percentile report for all three partitioning arms. The reported
+// p99 gain is the headline serving claim (static tail latency over
+// shared-pool; >1 is better).
+func BenchmarkServe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := FigServeOpts(benchParams(), ServeOptions{Loads: []float64{1.0}, Arrivals: 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			arms := map[string]*ServeReport{}
+			for _, arm := range r.Loads[0].Arms {
+				arms[arm.Name] = arm.Report
+			}
+			if shared, static := arms["shared"], arms["static"]; shared != nil && static != nil && static.P99 > 0 {
+				b.ReportMetric(float64(shared.P99)/float64(static.P99), "p99_gain_static")
+			}
+		}
+	}
+}
+
 // BenchmarkMaskWrite measures the engine's CUID-to-mask path (the
 // Section V-C overhead concern): one task move plus scheduler update.
 func BenchmarkMaskWrite(b *testing.B) {

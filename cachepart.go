@@ -56,6 +56,7 @@ import (
 	"cachepart/internal/engine"
 	"cachepart/internal/fault"
 	"cachepart/internal/harness"
+	"cachepart/internal/serve"
 	"cachepart/internal/sql"
 	"cachepart/internal/workload"
 	"cachepart/internal/workload/s4"
@@ -142,6 +143,54 @@ type (
 	ChaosPoint = harness.ChaosPoint
 	// ChaosResult is the chaos experiment's baseline and sweep points.
 	ChaosResult = harness.ChaosResult
+
+	// ServeConfig drives the open-loop multi-tenant serving tier: a
+	// seeded arrival generator over tenant cohorts, bounded admission
+	// queues and a CLOS-aware dispatcher, all in virtual time.
+	ServeConfig = serve.Config
+	// ServeTenant is one cohort: an arrival process over a workload mix
+	// with a bounded admission queue.
+	ServeTenant = serve.Tenant
+	// ServeWorkload is one entry of a tenant's query mix.
+	ServeWorkload = serve.Workload
+	// ServeProcess is a tenant's arrival process (Poisson, diurnal or
+	// trace replay).
+	ServeProcess = serve.Process
+	// ServePeriod is one sinusoidal component of a diurnal process.
+	ServePeriod = serve.Period
+	// ServeArrival is one generated arrival of the seeded trace.
+	ServeArrival = serve.Arrival
+	// ServeReport is a serving run's metrics: latency percentiles in
+	// virtual cycles, queue depths, drop accounting, per-tenant
+	// slowdowns and Jain fairness.
+	ServeReport = serve.Report
+	// ServeTenantReport is one tenant's slice of a ServeReport.
+	ServeTenantReport = serve.TenantReport
+	// ServeDiscipline selects the dispatch order (CLOS-aware, FIFO,
+	// round-robin).
+	ServeDiscipline = serve.Discipline
+	// AdmitPolicy decides whether a tenant's arrival enters its queue.
+	AdmitPolicy = serve.AdmitPolicy
+	// TailDrop admits until the tenant queue is full.
+	TailDrop = serve.TailDrop
+	// TokenBucket rate-limits admissions per tenant.
+	TokenBucket = serve.TokenBucket
+	// ServeOptions parameterises the FigServe capacity sweep.
+	ServeOptions = harness.ServeOptions
+	// ServeResult is the sweep: per load multiple, the shared-pool,
+	// static-scheme and adaptive-controller arms.
+	ServeResult = harness.ServeResult
+	// ServeLoad is one load multiple of the sweep.
+	ServeLoad = harness.ServeLoad
+	// ServeArmReport is one partitioning arm's report at one load.
+	ServeArmReport = harness.ServeArmReport
+)
+
+// Dispatch disciplines for ServeConfig.Discipline.
+const (
+	DiscCLOS = serve.DiscCLOS
+	DiscFIFO = serve.DiscFIFO
+	DiscRR   = serve.DiscRR
 )
 
 // UniformFaults builds a FaultConfig injecting every control-plane
@@ -335,4 +384,10 @@ var (
 	// list.
 	FigChaos            = harness.FigChaos
 	FigChaosRatesConfig = harness.FigChaosRatesConfig
+	// FigServe sweeps the open-loop serving tier across offered-load
+	// multiples of estimated capacity, comparing shared-pool, the
+	// paper's static scheme and the adaptive controller on tail
+	// latency and fairness; FigServeOpts takes explicit options.
+	FigServe     = harness.FigServe
+	FigServeOpts = harness.FigServeOpts
 )

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|adapt|chaos|all>
+//	cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|adapt|chaos|serve|all>
 //
 // Flags tune the machine scale, core count and the simulated
 // measurement window; see -help.
@@ -21,6 +21,7 @@ import (
 	"cachepart/internal/core"
 	"cachepart/internal/harness"
 	"cachepart/internal/resctrl"
+	"cachepart/internal/serve"
 )
 
 func main() {
@@ -36,9 +37,18 @@ func main() {
 		parallel = flag.Bool("parallel", false, "simulate private cache levels on parallel host goroutines (deterministic; DESIGN.md §11)")
 		workers  = flag.Int("workers", 0, "host goroutines for -parallel (default GOMAXPROCS)")
 		epoch    = flag.Int64("epochticks", 0, "virtual-time lookahead between parallel merge barriers (default 65536)")
+
+		// serve-only flags (DESIGN.md §13).
+		rate     = flag.Float64("rate", 0, "serve: absolute offered rate in queries per simulated second (overrides -loads)")
+		loads    = flag.String("loads", "", "serve: comma-separated capacity multiples to sweep (default 0.7,1.0,3.0)")
+		tenants  = flag.Int("tenants", 0, "serve: keep only the first N built-in cohorts (default all 3)")
+		policy   = flag.String("policy", "taildrop", "serve: admission policy — taildrop or tokenbucket:<qps>:<burst>")
+		capacity = flag.Int("capacity", 0, "serve: per-tenant queue capacity (default 16)")
+		disc     = flag.String("disc", "clos", "serve: dispatch discipline — clos, fifo or rr")
+		arrivals = flag.Int("arrivals", 0, "serve: target arrivals per load point (default 240)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|adapt|chaos|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|adapt|chaos|serve|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -114,6 +124,12 @@ func main() {
 		err = runAdapt(p)
 	case "chaos":
 		err = runChaos(p)
+	case "serve":
+		var o harness.ServeOptions
+		o, err = serveOptions(*rate, *loads, *tenants, *policy, *capacity, *arrivals, *disc)
+		if err == nil {
+			err = runServe(p, o)
+		}
 	case "all":
 		for _, f := range []func(harness.Params) error{
 			runFig4, runFig5, runFig6, runFig9, runFig10, runFig11, runFig12, runFig1, runProj, runDerive, runCoSched, runAdapt, runChaos,
@@ -250,6 +266,55 @@ func runChaos(p harness.Params) error {
 		return err
 	}
 	harness.PrintChaos(os.Stdout, r)
+	return nil
+}
+
+// serveOptions folds the serve-only flags into harness.ServeOptions.
+func serveOptions(rate float64, loads string, tenants int, policy string, capacity, arrivals int, disc string) (harness.ServeOptions, error) {
+	o := harness.ServeOptions{RateQPS: rate, Tenants: tenants, QueueCap: capacity, Arrivals: arrivals}
+	if loads != "" {
+		for _, field := range strings.Split(loads, ",") {
+			l, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil || l <= 0 {
+				return o, fmt.Errorf("bad -loads entry %q", field)
+			}
+			o.Loads = append(o.Loads, l)
+		}
+	}
+	d, err := serve.ParseDiscipline(disc)
+	if err != nil {
+		return o, err
+	}
+	o.Discipline = d
+	switch {
+	case policy == "" || policy == "taildrop":
+		// serve defaults to tail-drop.
+	case strings.HasPrefix(policy, "tokenbucket:"):
+		parts := strings.Split(policy, ":")
+		if len(parts) != 3 {
+			return o, fmt.Errorf("bad -policy %q (want tokenbucket:<qps>:<burst>)", policy)
+		}
+		qps, err1 := strconv.ParseFloat(parts[1], 64)
+		burst, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil || qps <= 0 || burst <= 0 {
+			return o, fmt.Errorf("bad -policy %q (want tokenbucket:<qps>:<burst>)", policy)
+		}
+		o.Policy = &serve.TokenBucket{RatePerSec: qps, Burst: burst}
+	default:
+		return o, fmt.Errorf("unknown -policy %q (want taildrop or tokenbucket:<qps>:<burst>)", policy)
+	}
+	return o, nil
+}
+
+// runServe regenerates the FigServe capacity sweep: the open-loop
+// multi-tenant serving tier under shared-pool, static partitioning and
+// the adaptive controller.
+func runServe(p harness.Params, o harness.ServeOptions) error {
+	r, err := harness.FigServeOpts(p, o)
+	if err != nil {
+		return err
+	}
+	harness.PrintServe(os.Stdout, r)
 	return nil
 }
 

@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// sliceFeed replays a fixed submission list in order, parking until
+// each release tick — the minimal deterministic Feed.
+type sliceFeed struct {
+	subs []Submission
+	next int
+}
+
+func (f *sliceFeed) Next(group int, now int64) (Submission, bool, int64) {
+	if f.next >= len(f.subs) {
+		return Submission{}, false, -1
+	}
+	s := f.subs[f.next]
+	if s.Release > now {
+		return Submission{}, false, s.Release
+	}
+	f.next++
+	return s, true, 0
+}
+
+func testSubs(n int, gap int64, rows int) []Submission {
+	subs := make([]Submission, n)
+	for i := range subs {
+		subs[i] = Submission{
+			Query:   &countQuery{name: "ol-count", rowsPerExec: rows},
+			Rng:     rand.New(rand.NewSource(int64(i + 1))),
+			Release: int64(i) * gap,
+			Tag:     int64(i),
+		}
+	}
+	return subs
+}
+
+// TestStreamQueryStamps pins the satellite contract: every execution
+// recorded in ExecTicks carries a (Start, Done) stamp on the run's
+// virtual clock, stamp durations equal the recorded ticks entry for
+// entry, and back-to-back executions tile the stream's timeline.
+func TestStreamQueryStamps(t *testing.T) {
+	e := testEngine(t, true)
+	res, err := e.Run([]StreamSpec{
+		{Query: &countQuery{name: "a", rowsPerExec: 2000}, Cores: []int{0, 1}},
+		{Query: &countQuery{name: "b", rowsPerExec: 500}, Cores: []int{2}},
+	}, RunOptions{Duration: 0.0005, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if len(r.Queries) != len(r.ExecTicks) {
+			t.Fatalf("%s: %d stamps for %d exec ticks", r.Name, len(r.Queries), len(r.ExecTicks))
+		}
+		if len(r.Queries) == 0 {
+			t.Fatalf("%s: no executions completed", r.Name)
+		}
+		var total int64
+		for i, q := range r.Queries {
+			if q.Ticks() != r.ExecTicks[i] {
+				t.Errorf("%s: stamp %d spans %d ticks, ExecTicks %d", r.Name, i, q.Ticks(), r.ExecTicks[i])
+			}
+			if q.Done <= q.Start {
+				t.Errorf("%s: stamp %d not positive: %+v", r.Name, i, q)
+			}
+			// Closed-loop streams run back to back: each execution
+			// starts at the previous one's completion barrier.
+			if i > 0 && q.Start != r.Queries[i-1].Done {
+				t.Errorf("%s: stamp %d starts at %d, previous done %d", r.Name, i, q.Start, r.Queries[i-1].Done)
+			}
+			total += q.Ticks()
+		}
+		if span := r.Queries[len(r.Queries)-1].Done - r.Queries[0].Start; span != total {
+			t.Errorf("%s: stream total %d ticks != sum of query stamps %d", r.Name, span, total)
+		}
+	}
+}
+
+func TestRunOpenLoopBasic(t *testing.T) {
+	e := testEngine(t, true)
+	subs := testSubs(24, 2000, 800)
+	res, err := e.RunOpenLoop([][]int{{0, 1}, {2, 3}}, &sliceFeed{subs: subs}, OpenLoopOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Completions) != len(subs) {
+		t.Fatalf("completed %d of %d submissions", len(res.Completions), len(subs))
+	}
+	seen := make(map[int64]bool)
+	for i, c := range res.Completions {
+		if seen[c.Tag] {
+			t.Errorf("tag %d completed twice", c.Tag)
+		}
+		seen[c.Tag] = true
+		if c.Start < c.Release || c.Done <= c.Start {
+			t.Errorf("completion %d out of order: %+v", i, c)
+		}
+		if i > 0 && c.Done < res.Completions[i-1].Done {
+			t.Errorf("completions not sorted by Done at %d", i)
+		}
+		if c.Rows != 800 {
+			t.Errorf("completion %d counted %d rows, want 800", i, c.Rows)
+		}
+	}
+	var done int64
+	for gi, g := range res.Groups {
+		done += g.Completed
+		if g.BusyTicks <= 0 || g.BusyTicks > g.EndTick {
+			t.Errorf("group %d busy %d of %d ticks", gi, g.BusyTicks, g.EndTick)
+		}
+	}
+	if done != int64(len(subs)) {
+		t.Errorf("groups report %d completions, want %d", done, len(subs))
+	}
+}
+
+func TestRunOpenLoopDeterminism(t *testing.T) {
+	run := func() *OpenLoopResult {
+		e := testEngine(t, true)
+		res, err := e.RunOpenLoop([][]int{{0, 1}, {2, 3}}, &sliceFeed{subs: testSubs(16, 3000, 600)}, OpenLoopOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Error("open-loop runs with identical feeds differ")
+	}
+}
+
+// TestRunOpenLoopWorkerInvariance pins that the epoch-parallel open
+// loop is independent of the worker count, and that dispatch order
+// (hence every completion stamp) matches across Workers=1 and 4.
+func TestRunOpenLoopWorkerInvariance(t *testing.T) {
+	run := func(workers int) *OpenLoopResult {
+		e := testEngine(t, true)
+		res, err := e.RunOpenLoop([][]int{{0, 1}, {2, 3}, {4, 5}}, &sliceFeed{subs: testSubs(18, 2500, 700)},
+			OpenLoopOptions{Parallel: true, Workers: workers, EpochTicks: 1 << 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(1), run(4); !reflect.DeepEqual(a, b) {
+		t.Error("open-loop results differ between Workers=1 and Workers=4")
+	}
+}
+
+func TestRunOpenLoopValidates(t *testing.T) {
+	e := testEngine(t, true)
+	if _, err := e.RunOpenLoop(nil, &sliceFeed{}, OpenLoopOptions{}); err == nil {
+		t.Error("empty groups accepted")
+	}
+	if _, err := e.RunOpenLoop([][]int{{0}, {0}}, &sliceFeed{}, OpenLoopOptions{}); err == nil {
+		t.Error("overlapping groups accepted")
+	}
+	if _, err := e.RunOpenLoop([][]int{{0}}, nil, OpenLoopOptions{}); err == nil {
+		t.Error("nil feed accepted")
+	}
+}

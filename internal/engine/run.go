@@ -95,6 +95,13 @@ type StreamResult struct {
 	// completed after warm-up, for response-time percentiles (the
 	// paper measures end-to-end response times, Section III-D).
 	ExecTicks []int64
+	// Queries stamps every execution counted in ExecTicks with its
+	// absolute start and completion tick on the run's virtual clock, in
+	// completion order. Latency consumers (the serving tier's
+	// percentile report) read these directly instead of keeping
+	// parallel bookkeeping; Queries[i].Done-Queries[i].Start ==
+	// ExecTicks[i] by construction, pinned by TestStreamQueryStamps.
+	Queries []QueryStamp
 	// Retries counts the stream's retried control-plane operations:
 	// transient injected faults the engine cleared by retrying with
 	// cycle-domain backoff.
@@ -104,6 +111,17 @@ type StreamResult struct {
 	// lost, results preserved.
 	Degraded int64
 }
+
+// QueryStamp is the virtual-time interval of one completed query
+// execution: the tick the execution began (its cores' synchronised
+// clock) and the tick its last phase barrier completed.
+type QueryStamp struct {
+	Start int64
+	Done  int64
+}
+
+// Ticks returns the stamped execution's end-to-end duration.
+func (q QueryStamp) Ticks() int64 { return q.Done - q.Start }
 
 // Percentile returns the p-quantile (0..1) of the recorded execution
 // durations in ticks, or 0 when none completed.
@@ -183,7 +201,8 @@ type stream struct {
 
 	execStart   int64 // tick the in-flight execution began
 	execTicks   []int64
-	ticksAtWarm int // executions recorded before warm-up
+	execDone    []int64 // completion tick of each recorded execution
+	ticksAtWarm int     // executions recorded before warm-up
 }
 
 // binding ties one worker core to its stream and kernel slot.
@@ -398,6 +417,11 @@ func (e *Engine) results(rs *runState) []StreamResult {
 			delta.Add(e.m.Stats(c).Sub(rs.statsAtWarm[c]))
 		}
 		rows := st.rows - st.rowsAtWarm
+		ticks := st.execTicks[st.ticksAtWarm:]
+		stamps := make([]QueryStamp, len(ticks))
+		for j, done := range st.execDone[st.ticksAtWarm:] {
+			stamps[j] = QueryStamp{Start: done - ticks[j], Done: done}
+		}
 		results[i] = StreamResult{
 			Name:          st.spec.Query.Name(),
 			Executions:    st.execs - st.execsAtWarm,
@@ -405,7 +429,8 @@ func (e *Engine) results(rs *runState) []StreamResult {
 			WindowSeconds: window,
 			Throughput:    float64(rows) / window,
 			Stats:         delta,
-			ExecTicks:     st.execTicks[st.ticksAtWarm:],
+			ExecTicks:     ticks,
+			Queries:       stamps,
 			Retries:       e.streamFaults[i].retries,
 			Degraded:      e.streamFaults[i].degraded,
 		}
@@ -433,6 +458,13 @@ func (e *Engine) planExecution(st *stream) error {
 			st.execStart = now
 		}
 	}
+	return e.planPhases(st)
+}
+
+// planPhases plans one execution's phases, validates them against the
+// stream's core count and arms phase 0. Split from planExecution so
+// the open-loop path (openloop.go) can stamp execution starts itself.
+func (e *Engine) planPhases(st *stream) error {
 	phases, err := st.spec.Query.Plan(len(st.spec.Cores), st.rng)
 	if err != nil {
 		return err
@@ -487,6 +519,7 @@ func (e *Engine) advancePhase(st *stream) error {
 	}
 	st.execs++
 	st.execTicks = append(st.execTicks, t-st.execStart)
+	st.execDone = append(st.execDone, t)
 	st.execStart = t
 	return e.planExecution(st)
 }

@@ -63,6 +63,15 @@ func (e *Engine) runParallel(rs *runState, opts RunOptions) error {
 		}
 
 		horizon := minNow + epochTicks
+		// Land a barrier exactly on the warm-up boundary and the run
+		// end, so the snapshot points — hence which executions fall in
+		// the measured window — do not depend on the epoch length.
+		if !rs.warmed && horizon > rs.warmTicks {
+			horizon = rs.warmTicks
+		}
+		if horizon > rs.durTicks {
+			horizon = rs.durTicks
+		}
 		tasks = tasks[:0]
 		for _, st := range rs.streams {
 			if st.phases[st.phaseIdx].Serial {

@@ -94,6 +94,7 @@ func DefaultConfig(module string) Config {
 			module + "/internal/engine",
 			module + "/internal/adapt",
 			module + "/internal/fault",
+			module + "/internal/serve",
 		},
 		CycleFuncs: []string{
 			module + "/internal/cachesim.Machine.Now",

@@ -173,6 +173,14 @@ func TestFaultFixGolden(t *testing.T) {
 	runGolden(t, "faultfix", []*Analyzer{Nondeterminism, TaintFlow})
 }
 
+// TestServeFixGolden proves the serving tier sits inside the same
+// net: internal/serve is a taintflow sink, so wall-clock or
+// global-rand arrival generation is flagged through a laundering
+// helper while the seeded generator stays clean.
+func TestServeFixGolden(t *testing.T) {
+	runGolden(t, "servefix", []*Analyzer{Nondeterminism, TaintFlow})
+}
+
 func TestTimeUnitsGolden(t *testing.T) {
 	runGolden(t, "timefix", []*Analyzer{TimeUnits})
 }

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"fmt"
+
+	"cachepart/internal/engine"
+)
+
+// dispatch: the engine.Feed gluing generator, admission and queues to
+// RunOpenLoop. The engine calls Next whenever a core group is idle at
+// virtual tick now; the feed absorbs every arrival up to now through
+// the admission policy, then hands out the next queued query under the
+// configured discipline. All state transitions key off virtual ticks
+// carried in the arrival trace, so the decision sequence is replayed
+// bit-identically for a fixed (seed, config).
+
+// Discipline selects how a free group picks among tenant queues.
+type Discipline int
+
+const (
+	// DiscCLOS (the default) is CLOS-aware FIFO: a group prefers the
+	// oldest queued query whose Workload.Class matches the class it
+	// last dispatched, batching same-allocation queries so the
+	// engine's mask reprogramming overhead is paid per batch instead
+	// of per query. Once the globally oldest query has waited longer
+	// than the aging bound the group falls back to strict FIFO, so no
+	// class starves. When every workload shares one class this is
+	// exactly FIFO.
+	DiscCLOS Discipline = iota
+	// DiscFIFO serves the globally oldest queued query (ties: lowest
+	// tenant index), ignoring CLOS classes.
+	DiscFIFO
+	// DiscRR round-robins across non-empty tenant queues, isolating a
+	// bursty tenant from a steady one.
+	DiscRR
+)
+
+// String names the discipline for reports and CLI flags.
+func (d Discipline) String() string {
+	switch d {
+	case DiscFIFO:
+		return "fifo"
+	case DiscRR:
+		return "rr"
+	default:
+		return "clos"
+	}
+}
+
+// ParseDiscipline maps a CLI flag value to a Discipline.
+func ParseDiscipline(s string) (Discipline, error) {
+	switch s {
+	case "clos":
+		return DiscCLOS, nil
+	case "fifo":
+		return DiscFIFO, nil
+	case "rr":
+		return DiscRR, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown discipline %q (want clos, fifo or rr)", s)
+	}
+}
+
+// feed implements engine.Feed over bounded per-tenant FIFOs.
+type feed struct {
+	seed     int64
+	tenants  []Tenant
+	arrivals []Arrival
+	cursor   int
+	policy   AdmitPolicy
+	disc     Discipline
+	rr       int
+	// lastClass[g] is the Workload.Class group g most recently
+	// dispatched (-1 before the first), the affinity key for DiscCLOS.
+	lastClass []int
+	// agingTicks bounds how long DiscCLOS may pass over the globally
+	// oldest query in favour of class affinity.
+	agingTicks int64
+
+	// queues[t] is tenant t's FIFO; heads[t] indexes its front. Slots
+	// before the head are dead — with bounded caps the waste is small
+	// and popping stays allocation-free.
+	queues [][]Arrival
+	heads  []int
+
+	acct accounting
+}
+
+// accounting tallies the deterministic drop/queue statistics the
+// report folds in after the run.
+type accounting struct {
+	arrivals   []int64
+	admitted   []int64
+	dropPolicy []int64
+	dropFull   []int64
+	peakDepth  []int
+	// depthSum integrates queue depth over virtual time (Σ depth·dt);
+	// lastTick is the previous integration point.
+	depthSum []float64
+	lastTick int64
+	endTick  int64
+}
+
+func newFeed(seed int64, tenants []Tenant, arrivals []Arrival, policy AdmitPolicy, disc Discipline, groups int, agingTicks int64, ticksPerSec float64) *feed {
+	n := len(tenants)
+	last := make([]int, groups)
+	for i := range last {
+		last[i] = -1
+	}
+	f := &feed{
+		seed:       seed,
+		tenants:    tenants,
+		arrivals:   arrivals,
+		policy:     policy,
+		disc:       disc,
+		lastClass:  last,
+		agingTicks: agingTicks,
+		queues:     make([][]Arrival, n),
+		heads:      make([]int, n),
+		acct: accounting{
+			arrivals:   make([]int64, n),
+			admitted:   make([]int64, n),
+			dropPolicy: make([]int64, n),
+			dropFull:   make([]int64, n),
+			peakDepth:  make([]int, n),
+			depthSum:   make([]float64, n),
+		},
+	}
+	f.policy.Init(n, ticksPerSec)
+	return f
+}
+
+func (f *feed) depth(tenant int) int { return len(f.queues[tenant]) - f.heads[tenant] }
+
+// integrate advances the depth integrals to tick. Next is called with
+// non-decreasing now and arrivals are absorbed in trace order, so tick
+// never regresses.
+func (f *feed) integrate(tick int64) {
+	if dt := tick - f.acct.lastTick; dt > 0 {
+		for t := range f.queues {
+			f.acct.depthSum[t] += float64(f.depth(t)) * float64(dt)
+		}
+		f.acct.lastTick = tick
+	}
+	if tick > f.acct.endTick {
+		f.acct.endTick = tick
+	}
+}
+
+// absorb runs admission for every arrival at or before now, in trace
+// order.
+func (f *feed) absorb(now int64) {
+	for f.cursor < len(f.arrivals) && f.arrivals[f.cursor].Tick <= now {
+		a := f.arrivals[f.cursor]
+		f.cursor++
+		f.integrate(a.Tick)
+		f.acct.arrivals[a.Tenant]++
+		d := f.depth(a.Tenant)
+		qcap := f.tenants[a.Tenant].queueCap()
+		switch {
+		case !f.policy.Admit(a, d, qcap):
+			f.acct.dropPolicy[a.Tenant]++
+		case d >= qcap:
+			f.acct.dropFull[a.Tenant]++
+		default:
+			f.acct.admitted[a.Tenant]++
+			f.queues[a.Tenant] = append(f.queues[a.Tenant], a)
+			if d+1 > f.acct.peakDepth[a.Tenant] {
+				f.acct.peakDepth[a.Tenant] = d + 1
+			}
+		}
+	}
+}
+
+// headClass is the CLOS class of tenant t's queue head.
+func (f *feed) headClass(t int) int {
+	a := f.queues[t][f.heads[t]]
+	return f.tenants[a.Tenant].Mix[a.Kind].Class
+}
+
+// oldest returns the tenant whose head is globally oldest (ties:
+// lowest tenant index), restricted to heads of the given class when
+// class >= 0; -1 if no queue qualifies.
+func (f *feed) oldest(class int) (int, int64) {
+	best, bestTick := -1, int64(0)
+	for t := range f.queues {
+		if f.depth(t) == 0 {
+			continue
+		}
+		if class >= 0 && f.headClass(t) != class {
+			continue
+		}
+		head := f.queues[t][f.heads[t]]
+		if best < 0 || head.Tick < bestTick {
+			best, bestTick = t, head.Tick
+		}
+	}
+	return best, bestTick
+}
+
+// pick selects the next tenant group should serve, or -1 if every
+// queue is empty.
+func (f *feed) pick(group int, now int64) int {
+	switch f.disc {
+	case DiscRR:
+		for i := 0; i < len(f.queues); i++ {
+			t := (f.rr + i) % len(f.queues)
+			if f.depth(t) > 0 {
+				f.rr = (t + 1) % len(f.queues)
+				return t
+			}
+		}
+		return -1
+	case DiscFIFO:
+		t, _ := f.oldest(-1)
+		return t
+	default: // DiscCLOS
+		t, tick := f.oldest(-1)
+		if t < 0 {
+			return -1
+		}
+		// Affinity: stick with the group's current class while the
+		// globally oldest query is within its aging bound.
+		if last := f.lastClass[group]; last >= 0 && now-tick < f.agingTicks {
+			if m, _ := f.oldest(last); m >= 0 {
+				return m
+			}
+		}
+		return t
+	}
+}
+
+// Next implements engine.Feed.
+func (f *feed) Next(group int, now int64) (engine.Submission, bool, int64) {
+	f.absorb(now)
+	t := f.pick(group, now)
+	if t < 0 {
+		if f.cursor < len(f.arrivals) {
+			return engine.Submission{}, false, f.arrivals[f.cursor].Tick
+		}
+		return engine.Submission{}, false, -1
+	}
+	f.integrate(now)
+	a := f.queues[t][f.heads[t]]
+	f.heads[t]++
+	if f.heads[t] == len(f.queues[t]) {
+		f.queues[t] = f.queues[t][:0]
+		f.heads[t] = 0
+	}
+	w := &f.tenants[a.Tenant].Mix[a.Kind]
+	f.lastClass[group] = w.Class
+	return engine.Submission{
+		Query:   w.Instances[group],
+		Rng:     queryRng(f.seed, a),
+		Release: a.Tick,
+		Tag:     a.Seq,
+	}, true, 0
+}
+
+// leftover reports queries still queued when the run drains — with
+// arrivals bounded to the horizon the engine retires every group only
+// after the queues empty, so a nonzero value indicates a feed bug.
+func (f *feed) leftover() int {
+	n := 0
+	for t := range f.queues {
+		n += f.depth(t)
+	}
+	return n
+}
+
+var _ engine.Feed = (*feed)(nil)
+
+// checkDrained asserts the drain invariant after a run.
+func (f *feed) checkDrained() error {
+	if n := f.leftover(); n != 0 {
+		return fmt.Errorf("serve: %d queries left queued after drain", n)
+	}
+	if f.cursor != len(f.arrivals) {
+		return fmt.Errorf("serve: %d arrivals never absorbed", len(f.arrivals)-f.cursor)
+	}
+	return nil
+}

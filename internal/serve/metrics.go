@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"sort"
+
+	"cachepart/internal/engine"
+)
+
+// metrics: post-processes engine Completions plus the feed's admission
+// accounting into the serving report. Everything is in virtual ticks;
+// rates use the machine's tick rate so "QPS" means queries per
+// simulated second.
+
+// TenantReport is one tenant's slice of the serving report.
+type TenantReport struct {
+	Name     string
+	Arrivals int64
+	Admitted int64
+	// DropPolicy counts admission-policy rejections, DropQueue bounded-
+	// FIFO overflows; Dropped is their sum.
+	Dropped    int64
+	DropPolicy int64
+	DropQueue  int64
+	Completed  int64
+	// QPS is completed queries per simulated second of the arrival
+	// horizon.
+	QPS float64
+	// Latency percentiles and means are end-to-end (arrival to
+	// completion) in virtual ticks; Wait is queueing delay, Service
+	// execution time.
+	P50         int64
+	P99         int64
+	P999        int64
+	MeanLatency float64
+	MeanWait    float64
+	MeanService float64
+	// Slowdown is MeanLatency over the tenant's calibrated isolated
+	// service time (0 when no baseline was configured).
+	Slowdown float64
+	// PeakDepth and MeanDepth describe the tenant's queue over the run
+	// (mean is time-weighted over [0, EndTick]).
+	PeakDepth int
+	MeanDepth float64
+}
+
+// Report is the full result of one serving run.
+type Report struct {
+	Seed         int64
+	HorizonTicks int64
+	// EndTick is the virtual time the last query completed (the run
+	// drains past the arrival horizon).
+	EndTick   int64
+	Arrivals  int64
+	Admitted  int64
+	Dropped   int64
+	Completed int64
+	QPS       float64
+	// Aggregate latency percentiles over all completions, in ticks.
+	P50         int64
+	P99         int64
+	P999        int64
+	MeanLatency float64
+	// Jain is Jain's fairness index over per-tenant slowdowns (or mean
+	// latencies when no baselines are configured): 1.0 means every
+	// tenant degrades equally, 1/n means one tenant absorbs all of it.
+	Jain    float64
+	Tenants []TenantReport
+	Groups  []engine.GroupResult
+}
+
+// percentile returns the q-quantile (0<q≤1) of sorted by the
+// nearest-rank method; 0 for an empty slice.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// jain computes Jain's fairness index (Σx)²/(n·Σx²) over positive
+// entries.
+func jain(xs []float64) float64 {
+	var sum, sq float64
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += x
+		sq += x * x
+		n++
+	}
+	if n == 0 || sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sq)
+}
+
+// buildReport folds completions and feed accounting into the Report.
+func buildReport(cfg *Config, horizonTicks int64, ticksPerSec float64, f *feed, res *engine.OpenLoopResult) *Report {
+	r := &Report{
+		Seed:         cfg.Seed,
+		HorizonTicks: horizonTicks,
+		Tenants:      make([]TenantReport, len(cfg.Tenants)),
+		Groups:       res.Groups,
+	}
+	horizonSec := float64(horizonTicks) / ticksPerSec
+
+	perTenant := make([][]int64, len(cfg.Tenants))
+	var all []int64
+	sumWait := make([]float64, len(cfg.Tenants))
+	sumSvc := make([]float64, len(cfg.Tenants))
+	for _, c := range res.Completions {
+		t := f.arrivals[c.Tag].Tenant
+		perTenant[t] = append(perTenant[t], c.Latency())
+		all = append(all, c.Latency())
+		sumWait[t] += float64(c.Wait())
+		sumSvc[t] += float64(c.Service())
+		if c.Done > r.EndTick {
+			r.EndTick = c.Done
+		}
+	}
+
+	fair := make([]float64, 0, len(cfg.Tenants))
+	for ti := range cfg.Tenants {
+		t := &cfg.Tenants[ti]
+		lat := perTenant[ti]
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		tr := &r.Tenants[ti]
+		tr.Name = t.Name
+		tr.Arrivals = f.acct.arrivals[ti]
+		tr.Admitted = f.acct.admitted[ti]
+		tr.DropPolicy = f.acct.dropPolicy[ti]
+		tr.DropQueue = f.acct.dropFull[ti]
+		tr.Dropped = tr.DropPolicy + tr.DropQueue
+		tr.Completed = int64(len(lat))
+		tr.QPS = float64(tr.Completed) / horizonSec
+		tr.P50 = percentile(lat, 0.50)
+		tr.P99 = percentile(lat, 0.99)
+		tr.P999 = percentile(lat, 0.999)
+		if n := float64(len(lat)); n > 0 {
+			var sum float64
+			for _, v := range lat {
+				sum += float64(v)
+			}
+			tr.MeanLatency = sum / n
+			tr.MeanWait = sumWait[ti] / n
+			tr.MeanService = sumSvc[ti] / n
+		}
+		if t.BaselineTicks > 0 && tr.MeanLatency > 0 {
+			tr.Slowdown = tr.MeanLatency / t.BaselineTicks
+		}
+		tr.PeakDepth = f.acct.peakDepth[ti]
+		if end := f.acct.endTick; end > 0 {
+			tr.MeanDepth = f.acct.depthSum[ti] / float64(end)
+		}
+		r.Arrivals += tr.Arrivals
+		r.Admitted += tr.Admitted
+		r.Dropped += tr.Dropped
+		r.Completed += tr.Completed
+		if tr.Slowdown > 0 {
+			fair = append(fair, tr.Slowdown)
+		} else if tr.MeanLatency > 0 {
+			fair = append(fair, tr.MeanLatency)
+		}
+	}
+
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	r.P50 = percentile(all, 0.50)
+	r.P99 = percentile(all, 0.99)
+	r.P999 = percentile(all, 0.999)
+	if n := float64(len(all)); n > 0 {
+		var sum float64
+		for _, v := range all {
+			sum += float64(v)
+		}
+		r.MeanLatency = sum / n
+	}
+	r.QPS = float64(r.Completed) / horizonSec
+	r.Jain = jain(fair)
+	return r
+}

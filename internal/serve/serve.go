@@ -1,0 +1,108 @@
+// Package serve is a deterministic open-loop multi-tenant serving
+// tier over the simulation engine: a seeded workload generator
+// (Poisson / multi-period diurnal / trace replay), a bounded
+// admission/queueing front end with deterministic drop accounting, a
+// CLOS-aware dispatcher onto disjoint core groups, and a virtual-time
+// metrics layer (throughput, p50/p99/p999 latency in ticks, queue
+// depth, drops, per-tenant slowdown and Jain fairness).
+//
+// The determinism contract matches the rest of the repository: every
+// random draw comes from rngs seeded by Config.Seed, time means the
+// machine's virtual tick clock, and a run's Report is a bit-identical
+// function of (Config, engine state) — including under the
+// epoch-parallel engine at any worker count, and under control-plane
+// fault injection per (run-seed, fault-seed). DESIGN.md §13 documents
+// the architecture.
+package serve
+
+import (
+	"fmt"
+
+	"cachepart/internal/engine"
+)
+
+// DefaultAgingSeconds is the DiscCLOS starvation bound when
+// Config.AgingSeconds is 0: long enough to batch several queries per
+// mask switch, short enough that a passed-over class still meets its
+// tail latency at saturation.
+const DefaultAgingSeconds = 250e-6
+
+// Config describes one serving run.
+type Config struct {
+	// Seed drives every random stream: per-tenant arrival rngs and
+	// per-query parameter rngs.
+	Seed int64
+	// Horizon is the arrival window in simulated seconds; queries
+	// arriving in [0, Horizon) are all served to completion (the run
+	// drains past the horizon), so percentiles cover every admitted
+	// query.
+	Horizon float64
+	Tenants []Tenant
+	// Policy is the admission policy; nil means TailDrop.
+	Policy AdmitPolicy
+	// Discipline selects how free groups pick among tenant queues.
+	Discipline Discipline
+	// AgingSeconds bounds how long DiscCLOS may defer the globally
+	// oldest query for class affinity; 0 uses DefaultAgingSeconds.
+	AgingSeconds float64
+
+	// Engine pass-through: see engine.OpenLoopOptions.
+	Quantum          int
+	TargetSliceTicks int64
+	Parallel         bool
+	Workers          int
+	EpochTicks       int64
+}
+
+// Run executes one serving run on the engine's machine: groups are
+// disjoint core sets (one dispatch slot each, sharing the LLC), and
+// every tenant workload must provide one query instance per group.
+func Run(e *engine.Engine, groups [][]int, cfg Config) (*Report, error) {
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("serve: horizon %v must be positive", cfg.Horizon)
+	}
+	if err := validateTenants(cfg.Tenants, len(groups)); err != nil {
+		return nil, err
+	}
+	m := e.Machine()
+	arrivals, err := GenArrivals(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = TailDrop{}
+	}
+	ticksPerSec := float64(m.Ticks(1))
+	aging := cfg.AgingSeconds
+	if aging <= 0 {
+		aging = DefaultAgingSeconds
+	}
+	f := newFeed(cfg.Seed, cfg.Tenants, arrivals, policy, cfg.Discipline, len(groups), m.Ticks(aging), ticksPerSec)
+
+	// Prewarm each workload's shared data (dictionaries, tables, space
+	// directories) once; instances of one workload alias the same
+	// backing data, so the group-0 instance stands in for all.
+	var prewarm []engine.Query
+	for ti := range cfg.Tenants {
+		for wi := range cfg.Tenants[ti].Mix {
+			prewarm = append(prewarm, cfg.Tenants[ti].Mix[wi].Instances[0])
+		}
+	}
+
+	res, err := e.RunOpenLoop(groups, f, engine.OpenLoopOptions{
+		Quantum:          cfg.Quantum,
+		TargetSliceTicks: cfg.TargetSliceTicks,
+		Parallel:         cfg.Parallel,
+		Workers:          cfg.Workers,
+		EpochTicks:       cfg.EpochTicks,
+		Prewarm:          prewarm,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := f.checkDrained(); err != nil {
+		return nil, err
+	}
+	return buildReport(&cfg, m.Ticks(cfg.Horizon), ticksPerSec, f, res), nil
+}

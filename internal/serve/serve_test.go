@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cachepart/internal/cachesim"
+	"cachepart/internal/core"
+	"cachepart/internal/engine"
+	"cachepart/internal/exec"
+)
+
+func testEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	cfg := cachesim.DefaultConfig().Scaled(64)
+	cfg.Cores = 8
+	m, err := cachesim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(m, core.DefaultPolicy(cfg.LLC.Size, cfg.LLC.Ways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// computeKernel burns a fixed compute cost per row.
+type computeKernel struct{ remaining int }
+
+func (k *computeKernel) Step(ctx *exec.Ctx, budget int) (int, bool) {
+	n := budget
+	if n > k.remaining {
+		n = k.remaining
+	}
+	for i := 0; i < n; i++ {
+		ctx.Compute(10, 4)
+	}
+	k.remaining -= n
+	return n, k.remaining == 0
+}
+
+// expQuery draws an exponentially distributed row count per execution
+// from the submission rng — an M-shaped service time for queueing
+// tests. It is stateless between executions, so one instance may alias
+// across groups.
+type expQuery struct {
+	name     string
+	meanRows float64
+}
+
+func (q *expQuery) Name() string { return q.name }
+
+func (q *expQuery) Plan(cores int, rng *rand.Rand) ([]engine.Phase, error) {
+	rows := int(rng.ExpFloat64() * q.meanRows)
+	if rows < 1 {
+		rows = 1
+	}
+	parts := engine.PartitionRows(rows, cores)
+	ks := make([]exec.Kernel, 0, len(parts))
+	for _, p := range parts {
+		ks = append(ks, &computeKernel{remaining: p[1] - p[0]})
+	}
+	return []engine.Phase{{Name: "compute", CUID: core.Sensitive, Kernels: ks, CountRows: true}}, nil
+}
+
+func alias(q engine.Query, groups int) []engine.Query {
+	out := make([]engine.Query, groups)
+	for i := range out {
+		out[i] = q
+	}
+	return out
+}
+
+// testConfig is a small two-tenant mixed-process configuration.
+func testConfig(seed int64, groups int) Config {
+	return Config{
+		Seed:    seed,
+		Horizon: 2e-5,
+		Tenants: []Tenant{
+			{
+				Name:    "oltp",
+				Process: Process{Kind: ProcPoisson, Rate: 3e6},
+				Mix: []Workload{
+					{Name: "small", Weight: 3, Instances: alias(&expQuery{name: "small", meanRows: 40}, groups)},
+					{Name: "medium", Weight: 1, Instances: alias(&expQuery{name: "medium", meanRows: 120}, groups)},
+				},
+			},
+			{
+				Name: "analytics",
+				Process: Process{Kind: ProcDiurnal, Rate: 1e6,
+					Periods: []Period{{Seconds: 1e-5, Amplitude: 0.6}, {Seconds: 4e-5, Amplitude: 0.3, Phase: 1.0}}},
+				Mix: []Workload{
+					{Name: "agg", Weight: 1, Instances: alias(&expQuery{name: "agg", meanRows: 300}, groups)},
+				},
+			},
+		},
+	}
+}
+
+func TestGenArrivalsBitIdentity(t *testing.T) {
+	m := testEngine(t).Machine()
+	for _, seed := range []int64{1, 7, 42} {
+		a, err := GenArrivals(m, testConfig(seed, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenArrivals(m, testConfig(seed, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("seed %d: identical configs generated different traces", seed)
+		}
+		if len(a) == 0 {
+			t.Fatalf("seed %d: empty trace", seed)
+		}
+		for i := range a {
+			if a[i].Seq != int64(i) {
+				t.Fatalf("seed %d: arrival %d has seq %d", seed, i, a[i].Seq)
+			}
+			if i > 0 && a[i].Tick < a[i-1].Tick {
+				t.Fatalf("seed %d: trace not time-ordered at %d", seed, i)
+			}
+		}
+	}
+	a, _ := GenArrivals(m, testConfig(1, 2))
+	b, _ := GenArrivals(m, testConfig(2, 2))
+	if reflect.DeepEqual(a, b) {
+		t.Error("different seeds generated identical traces")
+	}
+}
+
+func TestGenArrivalsTrace(t *testing.T) {
+	m := testEngine(t).Machine()
+	cfg := Config{
+		Seed:    5,
+		Horizon: 1e-5,
+		Tenants: []Tenant{{
+			Name:    "replay",
+			Process: Process{Kind: ProcTrace, Trace: []float64{9e-6, 2e-6, 4e-6, 5e-5, -1}},
+			Mix:     []Workload{{Name: "q", Weight: 1, Instances: alias(&expQuery{name: "q", meanRows: 10}, 1)}},
+		}},
+	}
+	a, err := GenArrivals(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5e-5 is past the horizon and -1 before it; the rest replay sorted.
+	if len(a) != 3 {
+		t.Fatalf("trace replay produced %d arrivals, want 3", len(a))
+	}
+	want := []int64{m.Ticks(2e-6), m.Ticks(4e-6), m.Ticks(9e-6)}
+	for i, w := range want {
+		if a[i].Tick != w {
+			t.Errorf("arrival %d at tick %d, want %d", i, a[i].Tick, w)
+		}
+	}
+}
+
+// TestRunBitIdentity pins the subsystem contract: same seed ⇒ identical
+// arrival trace, admission decisions and percentile report; different
+// seeds differ.
+func TestRunBitIdentity(t *testing.T) {
+	run := func(seed int64) *Report {
+		e := testEngine(t)
+		r, err := Run(e, [][]int{{0, 1}, {2, 3}}, testConfig(seed, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	for _, seed := range []int64{3, 11} {
+		a, b := run(seed), run(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("seed %d: two runs produced different reports", seed)
+		}
+		if a.Completed == 0 {
+			t.Fatalf("seed %d: nothing completed", seed)
+		}
+		if a.Arrivals != a.Admitted+a.Dropped {
+			t.Errorf("seed %d: %d arrivals != %d admitted + %d dropped", seed, a.Arrivals, a.Admitted, a.Dropped)
+		}
+		if a.Completed != a.Admitted {
+			t.Errorf("seed %d: %d admitted but %d completed (drain lost queries)", seed, a.Admitted, a.Completed)
+		}
+	}
+	if reflect.DeepEqual(run(3), run(11)) {
+		t.Error("different seeds produced identical reports")
+	}
+}
+
+// TestRunWorkerInvariance pins Workers=1 ≡ Workers=4 under -parallel.
+func TestRunWorkerInvariance(t *testing.T) {
+	run := func(workers int) *Report {
+		e := testEngine(t)
+		cfg := testConfig(9, 2)
+		cfg.Parallel = true
+		cfg.Workers = workers
+		cfg.EpochTicks = 1 << 12
+		r, err := Run(e, [][]int{{0, 1}, {2, 3}}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(1), run(4)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("serve reports differ between Workers=1 and Workers=4")
+	}
+	if a.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+}
+
+// TestMM1MeanWait checks the Poisson generator against queueing
+// theory: one tenant, one single-core group, exponential service ⇒
+// M/M/1, whose mean queueing delay is ρ/(1−ρ)·E[S]. The empirical
+// mean wait must land within tolerance of the prediction computed
+// from the measured service time and arrival rate.
+func TestMM1MeanWait(t *testing.T) {
+	e := testEngine(t)
+	m := e.Machine()
+	ticksPerSec := float64(m.Ticks(1))
+	// One row costs Compute(10 cycles) = 160 ticks, so the exponential
+	// 50-row mean gives E[S] ≈ 8000 ticks; offer ρ≈0.5 of that.
+	estService := 50.0 * 10.0 * cachesim.TicksPerCycle
+	rate := 0.5 / estService * ticksPerSec // arrivals per second for ρ≈0.5
+	horizon := 3000.0 * estService * 2.0 / ticksPerSec
+
+	cfg := Config{
+		Seed:    17,
+		Horizon: horizon,
+		Tenants: []Tenant{{
+			Name:     "mm1",
+			Process:  Process{Kind: ProcPoisson, Rate: rate},
+			QueueCap: 1 << 16,
+			Mix:      []Workload{{Name: "exp", Weight: 1, Instances: alias(&expQuery{name: "exp", meanRows: 50}, 1)}},
+		}},
+	}
+	r, err := Run(e, [][]int{{0}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := r.Tenants[0]
+	if tr.Dropped != 0 {
+		t.Fatalf("M/M/1 run dropped %d queries; raise the queue cap", tr.Dropped)
+	}
+	if tr.Completed < 1000 {
+		t.Fatalf("only %d completions; too few for a mean-wait check", tr.Completed)
+	}
+	lambda := float64(tr.Arrivals) / float64(r.HorizonTicks) // per tick
+	rho := lambda * tr.MeanService
+	if rho < 0.3 || rho > 0.7 {
+		t.Fatalf("utilisation %.2f outside the calibrated band", rho)
+	}
+	theory := rho / (1 - rho) * tr.MeanService
+	if diff := math.Abs(tr.MeanWait-theory) / theory; diff > 0.35 {
+		t.Errorf("mean wait %.0f ticks vs M/M/1 prediction %.0f (ρ=%.2f): off by %.0f%%",
+			tr.MeanWait, theory, rho, diff*100)
+	}
+}
+
+func TestAdmissionDrops(t *testing.T) {
+	e := testEngine(t)
+	cfg := testConfig(21, 1)
+	cfg.Tenants[0].QueueCap = 1
+	cfg.Tenants[1].QueueCap = 1
+	r, err := Run(e, [][]int{{0}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dropped == 0 {
+		t.Error("cap-1 queues under 3e6 qps dropped nothing")
+	}
+	for _, tr := range r.Tenants {
+		if tr.Arrivals != tr.Admitted+tr.Dropped {
+			t.Errorf("tenant %s: %d arrivals != %d admitted + %d dropped", tr.Name, tr.Arrivals, tr.Admitted, tr.Dropped)
+		}
+		if tr.PeakDepth > 1 {
+			t.Errorf("tenant %s: peak depth %d exceeds cap 1", tr.Name, tr.PeakDepth)
+		}
+	}
+}
+
+func TestTokenBucketLimitsRate(t *testing.T) {
+	e := testEngine(t)
+	cfg := testConfig(13, 1)
+	// Bucket refills at a tenth of tenant 0's offered load.
+	limit := cfg.Tenants[0].Process.Rate / 10
+	cfg.Policy = &TokenBucket{RatePerSec: limit, Burst: 4}
+	r, err := Run(e, [][]int{{0}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := r.Tenants[0]
+	maxAdmit := int64(limit*cfg.Horizon) + 4
+	if tr.Admitted > maxAdmit {
+		t.Errorf("token bucket admitted %d of %d, cap %d", tr.Admitted, tr.Arrivals, maxAdmit)
+	}
+	if tr.DropPolicy == 0 {
+		t.Error("token bucket at 10% of offered load rejected nothing")
+	}
+}
+
+func TestDisciplines(t *testing.T) {
+	for _, disc := range []Discipline{DiscCLOS, DiscFIFO, DiscRR} {
+		e := testEngine(t)
+		cfg := testConfig(29, 1)
+		cfg.Discipline = disc
+		r, err := Run(e, [][]int{{0, 1}}, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", disc, err)
+		}
+		if r.Completed != r.Admitted {
+			t.Errorf("%v: %d admitted, %d completed", disc, r.Admitted, r.Completed)
+		}
+	}
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # bench.sh — measures the epoch-parallel simulation mode (DESIGN.md
-# §11) against the serial reference and the batched access fast path
-# against the per-call loop, then writes the results as BENCH_6.json
+# §11) against the serial reference, the batched access fast path
+# against the per-call loop, and one full open-loop serving sweep
+# (DESIGN.md §13), then writes the results as BENCH_7.json
 # (format documented in EXPERIMENTS.md). After writing, the fresh run
 # is compared against the most recent committed BENCH_*.json and a
 # per-benchmark delta table is printed — regressions warn, they do not
@@ -18,7 +19,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 cores="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
 
 echo "== go test -bench (figure co-runs, serial vs parallel)" >&2
@@ -29,7 +30,11 @@ echo "== go test -bench (simulator access, loop vs batch)" >&2
 acc="$(go test -run '^$' -bench 'SimulatorAccess$|SimulatorAccessBatch$' -benchtime 2000000x .)"
 echo "$acc" >&2
 
-printf '%s\n%s\n' "$fig" "$acc" | awk -v cores="$cores" '
+echo "== go test -bench (open-loop serving sweep at 1.0x)" >&2
+srv="$(go test -run '^$' -bench 'BenchmarkServe$' -benchtime 2x .)"
+echo "$srv" >&2
+
+printf '%s\n%s\n%s\n' "$fig" "$acc" "$srv" | awk -v cores="$cores" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -41,15 +46,15 @@ printf '%s\n%s\n' "$fig" "$acc" | awk -v cores="$cores" '
 }
 END {
 	printf "{\n"
-	printf "  \"bench\": \"parsim — epoch-parallel simulation and batched access fast path\",\n"
+	printf "  \"bench\": \"serve — open-loop serving sweep plus the epoch-parallel and batched-access fast paths\",\n"
 	printf "  \"host_cores\": %d,\n", cores
 	printf "  \"ns_per_op\": {\n"
 	n = 0
 	for (k in ns) order[n++] = k
 	# Fixed emission order keeps the file diffable run to run.
-	split("BenchmarkFig9 BenchmarkFig9Parallel BenchmarkFig11 BenchmarkFig11Parallel BenchmarkSimulatorAccess BenchmarkSimulatorAccessBatch", want, " ")
+	split("BenchmarkFig9 BenchmarkFig9Parallel BenchmarkFig11 BenchmarkFig11Parallel BenchmarkSimulatorAccess BenchmarkSimulatorAccessBatch BenchmarkServe", want, " ")
 	first = 1
-	for (i = 1; i <= 6; i++) {
+	for (i = 1; i <= 7; i++) {
 		k = want[i]
 		if (!(k in ns)) continue
 		if (!first) printf ",\n"
@@ -100,9 +105,9 @@ if [ -n "$prev" ]; then
 	BEGIN {
 		load(prevfile, old)
 		load(curfile, cur)
-		split("BenchmarkFig9 BenchmarkFig9Parallel BenchmarkFig11 BenchmarkFig11Parallel BenchmarkSimulatorAccess BenchmarkSimulatorAccessBatch", want, " ")
+		split("BenchmarkFig9 BenchmarkFig9Parallel BenchmarkFig11 BenchmarkFig11Parallel BenchmarkSimulatorAccess BenchmarkSimulatorAccessBatch BenchmarkServe", want, " ")
 		printf "%-30s %14s %14s %9s\n", "benchmark", "prev", "cur", "delta"
-		for (i = 1; i <= 6; i++) {
+		for (i = 1; i <= 7; i++) {
 			k = want[i]
 			if (!(k in cur) || !(k in old) || old[k] == 0) continue
 			d = (cur[k] - old[k]) / old[k] * 100

@@ -4,11 +4,14 @@
 # concurrent layers. Run from anywhere inside the module; CI and
 # pre-merge reviews run exactly this.
 #
-# Usage: check.sh [lint|test|chaos|all]
+# Usage: check.sh [lint|test|chaos|serve|all]
 #   lint   build + vet + cachelint (the CI lint job)
 #   test   build + unit tests + race detector (the CI test job)
 #   chaos  build + fault-injection/robustness tests under the race
 #          detector (the CI chaos job)
+#   serve  build + open-loop serving tier: queueing-theory sanity,
+#          multi-seed bit-identity, worker invariance, chaos interop
+#          and the FigServe acceptance sweep (the CI serve job)
 #   all    every gate, in order (the default)
 set -eu
 
@@ -16,9 +19,9 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-all}"
 case "$mode" in
-lint | test | chaos | all) ;;
+lint | test | chaos | serve | all) ;;
 *)
-	echo "check.sh: unknown mode '$mode' (want lint, test, chaos, or all)" >&2
+	echo "check.sh: unknown mode '$mode' (want lint, test, chaos, serve, or all)" >&2
 	exit 2
 	;;
 esac
@@ -45,6 +48,14 @@ if [ "$mode" = test ] || [ "$mode" = all ]; then
 
 	echo '== go test -race (harness parallel-mode equivalence)'
 	go test -race -run 'Parallel' ./internal/harness/...
+fi
+
+if [ "$mode" = serve ] || [ "$mode" = all ]; then
+	echo '== go test (serving tier: generator, admission, dispatch, M/M/1)'
+	go test ./internal/serve/... ./internal/engine/ -run 'Serve|Arrival|MM1|Admission|TokenBucket|Discipline|OpenLoop|StreamQueryStamps'
+
+	echo '== go test (FigServe sweep: acceptance, determinism, chaos interop)'
+	go test -run 'FigServe' ./internal/harness/...
 fi
 
 if [ "$mode" = chaos ] || [ "$mode" = all ]; then

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint perflint race chaos check bench
+.PHONY: build test lint perflint conclint race chaos check bench
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,14 @@ lint:
 perflint:
 	$(GO) run ./cmd/cachelint -tier=perf ./...
 
+# The concurrency-isolation tier alone: the epoch-ownership contract
+# (epochshare, atomicmix, chanproto, wgbalance, goroutinecapture)
+# rooted at goroutine spawn sites.
+conclint:
+	$(GO) run ./cmd/cachelint -tier=conc ./...
+
 race:
-	$(GO) test -race ./internal/engine/... ./internal/cachesim/...
+	$(GO) test -race ./internal/engine/... ./internal/cachesim/... ./internal/exec/...
 	$(GO) test -race -run 'Parallel' ./internal/harness/...
 
 bench:

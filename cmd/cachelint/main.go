@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	cachelint [-tier intra|inter|perf|all] [-checks nondet,...] [-baseline file] [-json] [-list] [packages]
+//	cachelint [-tier intra|inter|perf|conc|all[,...]] [-checks nondet,...] [-baseline file] [-json] [-list] [packages]
 //
 // Packages default to ./... relative to the enclosing module. The
 // exit status is 0 when the tree is clean, 1 when diagnostics were
@@ -14,15 +14,18 @@
 // "file:line:col: [check] message"; intentional exceptions are
 // annotated in the source with "//lint:allow <check> <reason>".
 //
-// -tier selects one analysis tier — "intra" (single-package
-// correctness), "inter" (interprocedural correctness), "perf"
-// (hot-path performance over the //perf:hot reachability set) — or
-// "all" (the default). -checks narrows further to named checks.
+// -tier selects the analysis tiers to run, as a comma-separated list —
+// "intra" (single-package correctness), "inter" (interprocedural
+// correctness), "perf" (hot-path performance over the //perf:hot
+// reachability set), "conc" (concurrency isolation over goroutine
+// spawn sites) — or "all" (the default). Unknown tier names are a
+// usage error. -checks narrows further to named checks.
 //
 // -baseline reads a JSONL file of accepted findings (same schema as
 // -json output) and suppresses any current finding matching an entry
 // by (file, check, message), ignoring line and column so unrelated
-// edits do not invalidate it. scripts/check.sh passes the checked-in
+// edits do not invalidate it. An entry that names a tier only matches
+// findings of that tier. scripts/check.sh passes the checked-in
 // .cachelint-baseline.jsonl.
 //
 // With -json each diagnostic prints as one JSON object per line
@@ -51,7 +54,7 @@ import (
 
 func main() {
 	var (
-		tier     = flag.String("tier", "all", "analysis tier to run: intra, inter, perf or all")
+		tier     = flag.String("tier", "all", "comma-separated analysis tiers to run: intra, inter, perf, conc or all")
 		checks   = flag.String("checks", "", "comma-separated subset of checks to run (default: the selected tier)")
 		baseline = flag.String("baseline", "", "JSONL file of accepted findings to suppress, matched by (file, check, message)")
 		list     = flag.Bool("list", false, "list the available checks and exit")
@@ -137,7 +140,8 @@ func main() {
 				pos.Filename = rel
 			}
 		}
-		if accepted[baselineKey(pos.Filename, d.Check, d.Message)] {
+		if accepted[baselineKey(pos.Filename, d.Check, "", d.Message)] ||
+			accepted[baselineKey(pos.Filename, d.Check, tierOf[d.Check], d.Message)] {
 			baselined++
 			continue
 		}
@@ -184,21 +188,42 @@ type jsonDiagnostic struct {
 }
 
 // selectAnalyzers resolves the -tier and -checks flags against the
-// registry; -checks narrows within the selected tier's suite (or, as
-// before tiers existed, the full suite under the default tier).
+// registry. -tier is a comma-separated list of tiers ("intra,conc");
+// "all" selects every tier; unknown names are a usage error. -checks
+// narrows within the selected tiers' suite.
 func selectAnalyzers(tier, checks string) ([]*lint.Analyzer, error) {
-	if tier != "all" {
-		known := false
-		for _, t := range lint.Tiers() {
-			if t == tier {
-				known = true
+	selected := make(map[string]bool)
+	for _, t := range strings.Split(tier, ",") {
+		t = strings.TrimSpace(t)
+		switch {
+		case t == "":
+			continue
+		case t == "all":
+			for _, k := range lint.Tiers() {
+				selected[k] = true
 			}
-		}
-		if !known {
-			return nil, fmt.Errorf("cachelint: unknown tier %q (intra, inter, perf or all)", tier)
+		default:
+			known := false
+			for _, k := range lint.Tiers() {
+				if k == t {
+					known = true
+				}
+			}
+			if !known {
+				return nil, fmt.Errorf("cachelint: unknown tier %q (intra, inter, perf, conc or all)", t)
+			}
+			selected[t] = true
 		}
 	}
-	all := lint.AnalyzersForTier(tier)
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("cachelint: -tier selects no tier (intra, inter, perf, conc or all)")
+	}
+	var all []*lint.Analyzer
+	for _, a := range lint.Analyzers() {
+		if selected[a.Tier] {
+			all = append(all, a)
+		}
+	}
 	if checks == "" {
 		return all, nil
 	}
@@ -220,9 +245,10 @@ func selectAnalyzers(tier, checks string) ([]*lint.Analyzer, error) {
 
 // baselineKey is the identity a baseline entry matches on: file, check
 // and message, but not line or column, so edits elsewhere in the file
-// do not invalidate accepted findings.
-func baselineKey(file, check, message string) string {
-	return file + "\x00" + check + "\x00" + message
+// do not invalidate accepted findings. A non-empty tier narrows the
+// entry to findings of that tier.
+func baselineKey(file, check, tier, message string) string {
+	return file + "\x00" + check + "\x00" + tier + "\x00" + message
 }
 
 // loadBaseline reads a JSONL baseline of accepted findings. Blank
@@ -246,7 +272,7 @@ func loadBaseline(path string) (map[string]bool, error) {
 		if err := json.Unmarshal([]byte(line), &d); err != nil {
 			return nil, fmt.Errorf("cachelint: baseline %s:%d: %v", path, i+1, err)
 		}
-		accepted[baselineKey(d.File, d.Check, d.Message)] = true
+		accepted[baselineKey(d.File, d.Check, d.Tier, d.Message)] = true
 	}
 	return accepted, nil
 }

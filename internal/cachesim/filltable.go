@@ -10,6 +10,8 @@ package cachesim
 // Keys are stored as line+1 so that zero marks an empty slot; line
 // numbers themselves start above zero (address zero is never handed
 // out) but the bias makes the table correct regardless.
+//
+//conc:shared core-private: each CoreSim owns its fill table and no other goroutine reads it before the merge
 type fillTable struct {
 	keys  []uint64 // line+1; 0 marks an empty slot
 	vals  []int64

@@ -61,6 +61,8 @@ const (
 // one worker goroutine between BeginEpoch and Merge; the EpochSim
 // methods themselves must be called from a single coordinating
 // goroutine with no worker running.
+//
+//conc:shared owned by exactly one worker between BeginEpoch and Merge (DESIGN §11); buffered events are drained only at the merge barrier
 type CoreSim struct {
 	m    *Machine
 	core int
@@ -105,6 +107,8 @@ func (es *EpochSim) Core(core int) *CoreSim { return es.cores[core] }
 
 // BeginEpoch seeds every core's DRAM mirror from the shared queue.
 // Call once before handing the CoreSims to workers for an epoch.
+//
+//conc:barrier epoch setup runs on the coordinator before any worker starts
 func (es *EpochSim) BeginEpoch() {
 	for _, cs := range es.cores {
 		cs.dramFree = es.m.dramFree
@@ -116,6 +120,7 @@ func (es *EpochSim) BeginEpoch() {
 // for the next epoch. Workers must be quiescent.
 //
 //perf:hot drains every buffered shared-state event, once per epoch barrier
+//conc:barrier the merge mutates the shared LLC and DRAM queue; workers must be quiescent
 func (es *EpochSim) Merge() {
 	idx := es.cursor
 	for i := range idx {

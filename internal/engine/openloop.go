@@ -425,6 +425,10 @@ func (e *Engine) openLoopParallel(ol *olState, feed Feed, opts OpenLoopOptions) 
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	// Each worker claims disjoint tasks via the atomic cursor, so a
+	// task is written by at most one goroutine per epoch.
+	//
+	//conc:shared one slot per task; the claiming worker alone writes it and the coordinator reads after wg.Wait
 	type task struct {
 		g      *olGroup
 		slot   *kernelSlot

@@ -143,6 +143,8 @@ func (r StreamResult) Percentile(p float64) int64 {
 }
 
 // kernelSlot tracks one worker's kernel within the current phase.
+//
+//conc:shared slot is bound to one core; only the worker driving that core writes it during an epoch, the coordinator reads after the join
 type kernelSlot struct {
 	kernel exec.Kernel
 	done   bool

@@ -38,6 +38,10 @@ func (e *Engine) runParallel(rs *runState, opts RunOptions) error {
 	// Tasks are plain values in a slice reused across epochs: one
 	// epoch's worth of closure-and-pointer allocations per barrier adds
 	// up over the millions of epochs a long run executes.
+	// Each worker claims disjoint tasks via the atomic cursor, so a
+	// task is written by at most one goroutine per epoch.
+	//
+	//conc:shared one slot per task; the claiming worker alone writes it and the coordinator reads after wg.Wait
 	type task struct {
 		st     *stream
 		slot   *kernelSlot

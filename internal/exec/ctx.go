@@ -32,6 +32,7 @@ func (c *Ctx) Read(a memory.Addr) {
 		c.Par.Access(a, false)
 		return
 	}
+	//lint:allow epochshare serial fallback: Par is always non-nil on worker-driven cores, so workers never reach the Machine barrier
 	c.M.Access(c.Core, a, false)
 }
 
@@ -41,6 +42,7 @@ func (c *Ctx) Write(a memory.Addr) {
 		c.Par.Access(a, true)
 		return
 	}
+	//lint:allow epochshare serial fallback: Par is always non-nil on worker-driven cores, so workers never reach the Machine barrier
 	c.M.Access(c.Core, a, true)
 }
 
@@ -53,6 +55,7 @@ func (c *Ctx) ReadBatch(ops []cachesim.BatchOp) {
 		c.Par.AccessBatch(ops)
 		return
 	}
+	//lint:allow epochshare serial fallback: Par is always non-nil on worker-driven cores, so workers never reach the Machine barrier
 	c.M.AccessBatch(c.Core, ops)
 }
 

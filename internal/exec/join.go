@@ -59,34 +59,40 @@ func (b *BitVector) Set(key int64) {
 	atomic.OrUint64(&b.words[i/64], 1<<(i%64))
 }
 
-// Test reports whether a key is present.
+// Test reports whether a key is present. The load is atomic because
+// probe kernels may run while build kernels still OR bits in: a plain
+// read of the same word is a data race even though bit-sets commute.
 func (b *BitVector) Test(key int64) bool {
 	i := uint64(key - b.lo)
 	if i >= b.n {
 		return false
 	}
-	return b.words[i/64]&(1<<(i%64)) != 0
+	return atomic.LoadUint64(&b.words[i/64])&(1<<(i%64)) != 0
 }
 
 // Clear empties the vector.
-func (b *BitVector) Clear() { clear(b.words) }
+func (b *BitVector) Clear() {
+	for i := range b.words {
+		atomic.StoreUint64(&b.words[i], 0)
+	}
+}
 
 // SetAll marks every key in the domain present, used to pre-populate
 // the vector when executions rebuild only a sample of it.
 func (b *BitVector) SetAll() {
 	for i := range b.words {
-		b.words[i] = ^uint64(0)
+		atomic.StoreUint64(&b.words[i], ^uint64(0))
 	}
 	if tail := b.n % 64; tail != 0 {
-		b.words[len(b.words)-1] = 1<<tail - 1
+		atomic.StoreUint64(&b.words[len(b.words)-1], 1<<tail-1)
 	}
 }
 
 // PopCount reports the number of set bits, for verification.
 func (b *BitVector) PopCount() uint64 {
 	var n uint64
-	for _, w := range b.words {
-		for ; w != 0; w &= w - 1 {
+	for i := range b.words {
+		for w := atomic.LoadUint64(&b.words[i]); w != 0; w &= w - 1 {
 			n++
 		}
 	}
@@ -97,6 +103,8 @@ func (b *BitVector) PopCount() uint64 {
 // primary-key column and set the key's bit. The scan side is
 // sequential; the bit writes scatter over the vector when the table is
 // not key-ordered.
+//
+//conc:shared kernel instance is bound to one core's slot; the shared bit vector is written only through atomic OR (see BitVector)
 type JoinBuild struct {
 	KeyCol *column.Column
 	From   int
@@ -157,6 +165,8 @@ func (j *JoinBuild) Reset() {
 
 // JoinProbe is the second phase: scan the foreign-key column, test each
 // key's bit (random access over the vector) and count matches.
+//
+//conc:shared kernel instance is bound to one core's slot; only the worker driving that core calls Step between barriers
 type JoinProbe struct {
 	FKCol *column.Column
 	From  int

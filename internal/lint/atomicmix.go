@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix flags state that is updated through sync/atomic somewhere
+// in the package but read or written plainly elsewhere. Mixing the two
+// is a data race even when every writer is atomic — the plain reader
+// can observe a torn or stale value — and the race detector only
+// catches it when a test happens to interleave the accesses. The
+// canonical case here is the join build's bit vector, whose OR is
+// atomic so concurrent build kernels can share it: every other access
+// to the words must be atomic too.
+//
+// Initialization is exempt where it is unambiguous: composite-literal
+// keys and len/cap, which never touch element memory.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "state updated via sync/atomic must never be accessed plainly",
+	Tier: TierConc,
+	Run:  runAtomicMix,
+}
+
+// atomicFuncs are the sync/atomic package functions whose first
+// argument addresses the synchronized word. The typed atomic wrappers
+// (atomic.Int64 etc.) make plain access impossible and need no check.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"AndInt32": true, "AndInt64": true, "AndUint32": true, "AndUint64": true, "AndUintptr": true,
+	"OrInt32": true, "OrInt64": true, "OrUint32": true, "OrUint64": true, "OrUintptr": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true,
+	"LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true,
+	"StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true,
+	"SwapUintptr": true, "SwapPointer": true,
+}
+
+func runAtomicMix(p *Pass) {
+	info := p.Pkg.Info
+
+	// Pass 1: find the atomically accessed words. The target of
+	// &x.f or &x.f[i] passed to a sync/atomic function is keyed by the
+	// field (or variable) object; every node inside a sanctioned
+	// context — an atomic call's address argument, a composite-literal
+	// key, a len/cap argument — is exempt from pass 2.
+	// tracked maps each word to the first sync/atomic function seen
+	// accessing it, for the message.
+	tracked := make(map[*types.Var]string)
+	sanctioned := make(map[ast.Node]bool)
+	sanction := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			sanctioned[n] = true
+			return true
+		})
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							sanctioned[id] = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				// An index-only range reads just the slice header, like
+				// len; a range with a value variable reads the elements
+				// and stays checked.
+				if n.Value == nil {
+					sanction(n.X)
+				}
+			case *ast.CallExpr:
+				obj := calleeObj(info, n)
+				if b, ok := obj.(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+					for _, a := range n.Args {
+						sanction(a)
+					}
+					return true
+				}
+				name, ok := isPackageFunc(obj, "sync/atomic")
+				if !ok || !atomicFuncs[name] || len(n.Args) == 0 {
+					return true
+				}
+				u, ok := ast.Unparen(n.Args[0]).(*ast.UnaryExpr)
+				if !ok {
+					return true
+				}
+				target := ast.Unparen(u.X)
+				if ix, ok := target.(*ast.IndexExpr); ok {
+					target = ast.Unparen(ix.X)
+				}
+				var v *types.Var
+				switch t := target.(type) {
+				case *ast.SelectorExpr:
+					v, _ = info.ObjectOf(t.Sel).(*types.Var)
+				case *ast.Ident:
+					v, _ = info.ObjectOf(t).(*types.Var)
+				}
+				if v == nil {
+					return true
+				}
+				sanction(n.Args[0])
+				if _, seen := tracked[v]; !seen {
+					tracked[v] = name
+				}
+			}
+			return true
+		})
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Pass 2: every remaining reference to a tracked word is a plain
+	// access — a read, write, range, clear, or alias of memory that
+	// other goroutines update atomically.
+	flag := func(id *ast.Ident, v *types.Var) {
+		desc := v.Name()
+		if v.IsField() {
+			if owner, ok := fieldOwnerName(p.Pkg, v); ok {
+				desc = owner + "." + v.Name()
+			}
+		}
+		p.Reportf(id.Pos(), "plain access to %s, which is accessed via sync/atomic.%s; every access must use sync/atomic", desc, tracked[v])
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			if _, isTracked := tracked[v]; isTracked {
+				flag(id, v)
+			}
+			return true
+		})
+	}
+}
+
+// fieldOwnerName finds the struct type a field belongs to by scanning
+// the package's type declarations, for readable diagnostics.
+func fieldOwnerName(pkg *Package, field *types.Var) (string, bool) {
+	for _, f := range pkg.Files {
+		var owner string
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fl := range st.Fields.List {
+				for _, name := range fl.Names {
+					if pkg.Info.Defs[name] == field {
+						owner = ts.Name.Name
+						found = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if found {
+			return owner, true
+		}
+	}
+	return "", false
+}

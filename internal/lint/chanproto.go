@@ -1,0 +1,369 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+)
+
+// ChanProto checks channel lifecycle protocols, extending the
+// intraprocedural channel-drain rule of the nondet analyzer to an
+// interprocedural one: a summary fixpoint records which parameters a
+// function may send on or close, so a close followed by a call that
+// sends into the same channel is caught across helper boundaries.
+//
+// Three rules, each scoped to one straight-line protocol scope (a
+// function body outside its go statements, or one spawned literal):
+//
+//   - close protocol: a second close, a close inside a loop, or a send
+//     (direct or through a callee summary) after a close.
+//   - producer/capacity deadlock: a constant-capacity channel whose
+//     spawned producers can buffer more sends than the capacity while
+//     the coordinator reaches a WaitGroup.Wait before any receive —
+//     the producers block on the full channel and the Wait never
+//     returns.
+var ChanProto = &Analyzer{
+	Name:      "chanproto",
+	Doc:       "channel close/send protocol and producer-capacity deadlocks",
+	Tier:      TierConc,
+	RunModule: runChanProto,
+}
+
+// chanSum records, per parameter index (bitmask), whether the function
+// may send on or close that channel parameter.
+type chanSum struct{ sends, closes uint64 }
+
+const (
+	cpSend = iota
+	cpClose
+	cpRecv
+	cpCallSend
+	cpCallClose
+)
+
+// chanEvent is one channel operation in source order.
+type chanEvent struct {
+	pos    token.Pos
+	kind   int
+	callee string // for cpCallSend/cpCallClose
+	inLoop bool
+}
+
+func runChanProto(p *ModulePass) {
+	sums := chanSummaries(p.Prog)
+	for _, fn := range p.Prog.Funcs {
+		if !p.analyzed(fn) || !underAny(fn.Pkg.Path, p.Config.SimPrefixes) {
+			continue
+		}
+		checkChanFunc(p, fn, sums)
+	}
+}
+
+// chanSummaries computes the send/close-on-parameter facts bottom-up.
+func chanSummaries(prog *Program) map[*FuncNode]*chanSum {
+	sums := make(map[*FuncNode]*chanSum, len(prog.Funcs))
+	for _, fn := range prog.Funcs {
+		sums[fn] = &chanSum{}
+	}
+	prog.fixpoint(func(fn *FuncNode) bool {
+		info := fn.Pkg.Info
+		sig := fn.Obj.Type().(*types.Signature)
+		sum := sums[fn]
+		before := *sum
+		paramBit := func(e ast.Expr) (uint64, bool) {
+			obj := chanRoot(info, e)
+			if obj == nil {
+				return 0, false
+			}
+			if i := paramIndexOf(sig, obj); i >= 0 {
+				return 1 << uint(i), true
+			}
+			return 0, false
+		}
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				if bit, ok := paramBit(n.Chan); ok {
+					sum.sends |= bit
+				}
+			case *ast.CallExpr:
+				if obj := calleeObj(info, n); obj != nil {
+					if b, ok := obj.(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 {
+						if bit, ok := paramBit(n.Args[0]); ok {
+							sum.closes |= bit
+						}
+						return true
+					}
+					if callee := prog.NodeOf(obj); callee != nil {
+						csum := sums[callee]
+						for ai, arg := range n.Args {
+							if ai >= 64 {
+								break
+							}
+							bit, ok := paramBit(arg)
+							if !ok {
+								continue
+							}
+							if csum.sends&(1<<uint(ai)) != 0 {
+								sum.sends |= bit
+							}
+							if csum.closes&(1<<uint(ai)) != 0 {
+								sum.closes |= bit
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		return *sum != before
+	})
+	return sums
+}
+
+// chanScope is one straight-line protocol scope with its per-channel
+// events.
+type chanScope struct {
+	roots  []types.Object
+	events map[types.Object][]chanEvent
+}
+
+func (s *chanScope) add(root types.Object, ev chanEvent) {
+	if _, seen := s.events[root]; !seen {
+		s.roots = append(s.roots, root)
+	}
+	s.events[root] = append(s.events[root], ev)
+}
+
+type span struct{ lo, hi token.Pos }
+
+func (sp span) contains(pos token.Pos) bool { return pos >= sp.lo && pos < sp.hi }
+
+func checkChanFunc(p *ModulePass, fn *FuncNode, sums map[*FuncNode]*chanSum) {
+	info := fn.Pkg.Info
+	body := fn.Decl.Body
+
+	// Scope partition: the coordinator body, plus one scope per
+	// goroutine-spawned literal. Loop spans drive the in-loop flag.
+	var goSpans []span
+	var loops []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				goSpans = append(goSpans, span{lit.Body.Pos(), lit.Body.End()})
+			}
+		case *ast.ForStmt:
+			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+		}
+		return true
+	})
+	inLoop := func(pos token.Pos) bool {
+		for _, sp := range loops {
+			if sp.contains(pos) {
+				return true
+			}
+		}
+		return false
+	}
+	scopeOf := func(pos token.Pos) int {
+		for i, sp := range goSpans {
+			if sp.contains(pos) {
+				return i + 1
+			}
+		}
+		return 0
+	}
+	scopes := make([]*chanScope, len(goSpans)+1)
+	for i := range scopes {
+		scopes[i] = &chanScope{events: make(map[types.Object][]chanEvent)}
+	}
+	record := func(pos token.Pos, root types.Object, ev chanEvent) {
+		ev.pos = pos
+		ev.inLoop = inLoop(pos)
+		scopes[scopeOf(pos)].add(root, ev)
+	}
+
+	// makes maps local channels built with a constant capacity to it.
+	makes := make(map[types.Object]int64)
+	var makeOrder []types.Object
+	var waits []token.Pos
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if b, ok := calleeObj(info, call).(*types.Builtin); !ok || b.Name() != "make" {
+					continue
+				}
+				id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.ObjectOf(id)
+				if chanRoot(info, id) == nil || obj == nil {
+					continue
+				}
+				capacity := int64(0)
+				if len(call.Args) >= 2 {
+					tv, ok := info.Types[call.Args[1]]
+					if !ok || tv.Value == nil {
+						continue // dynamic capacity: out of scope
+					}
+					c, exact := constant.Int64Val(constant.ToInt(tv.Value))
+					if !exact {
+						continue
+					}
+					capacity = c
+				}
+				if _, seen := makes[obj]; !seen {
+					makes[obj] = capacity
+					makeOrder = append(makeOrder, obj)
+				}
+			}
+		case *ast.SendStmt:
+			if root := chanRoot(info, n.Chan); root != nil {
+				record(n.Pos(), root, chanEvent{kind: cpSend})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if root := chanRoot(info, n.X); root != nil {
+					record(n.Pos(), root, chanEvent{kind: cpRecv})
+				}
+			}
+		case *ast.RangeStmt:
+			if root := chanRoot(info, n.X); root != nil {
+				record(n.Pos(), root, chanEvent{kind: cpRecv})
+			}
+		case *ast.CallExpr:
+			obj := calleeObj(info, n)
+			if obj == nil {
+				return true
+			}
+			if b, ok := obj.(*types.Builtin); ok {
+				if b.Name() == "close" && len(n.Args) == 1 {
+					if root := chanRoot(info, n.Args[0]); root != nil {
+						record(n.Pos(), root, chanEvent{kind: cpClose})
+					}
+				}
+				return true
+			}
+			if root, name, ok := waitGroupCall(info, n); ok && root != nil && name == "Wait" {
+				waits = append(waits, n.Pos())
+				return true
+			}
+			callee := p.Prog.NodeOf(obj)
+			if callee == nil {
+				return true
+			}
+			csum := sums[callee]
+			for ai, arg := range n.Args {
+				if ai >= 64 {
+					break
+				}
+				root := chanRoot(info, arg)
+				if root == nil {
+					continue
+				}
+				if csum.sends&(1<<uint(ai)) != 0 {
+					record(n.Pos(), root, chanEvent{kind: cpCallSend, callee: hotFuncName(callee)})
+				}
+				if csum.closes&(1<<uint(ai)) != 0 {
+					record(n.Pos(), root, chanEvent{kind: cpCallClose, callee: hotFuncName(callee)})
+				}
+			}
+		}
+		return true
+	})
+
+	// Rule 1: close protocol, per scope and channel, in source order.
+	for _, scope := range scopes {
+		for _, root := range scope.roots {
+			events := scope.events[root]
+			sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+			closed := false
+			loopReported := false
+			for _, ev := range events {
+				switch ev.kind {
+				case cpClose, cpCallClose:
+					if closed {
+						if ev.kind == cpCallClose {
+							p.Reportf(ev.pos, "call to %s may close channel %s twice", ev.callee, root.Name())
+						} else {
+							p.Reportf(ev.pos, "channel %s closed twice", root.Name())
+						}
+						continue
+					}
+					closed = true
+					if ev.kind == cpClose && ev.inLoop && !loopReported {
+						p.Reportf(ev.pos, "close of channel %s inside a loop executes more than once", root.Name())
+						loopReported = true
+					}
+				case cpSend:
+					if closed {
+						p.Reportf(ev.pos, "send on channel %s after close", root.Name())
+					}
+				case cpCallSend:
+					if closed {
+						p.Reportf(ev.pos, "call to %s may send on channel %s after close", ev.callee, root.Name())
+					}
+				}
+			}
+		}
+	}
+
+	// Rule 2: producer/capacity deadlock for constant-capacity local
+	// channels.
+	for _, obj := range makeOrder {
+		capacity := makes[obj]
+		sends := int64(0)
+		unbounded := false
+		producerRecv := false
+		for _, scope := range scopes[1:] {
+			for _, ev := range scope.events[obj] {
+				switch ev.kind {
+				case cpSend, cpCallSend:
+					sends++
+					if ev.inLoop {
+						unbounded = true
+					}
+				case cpRecv:
+					producerRecv = true
+				}
+			}
+		}
+		if producerRecv || (sends <= capacity && !unbounded) || sends == 0 {
+			continue
+		}
+		// First coordinator receive; a Wait before it (or with no
+		// receive at all) blocks on producers stuck at the full buffer.
+		firstRecv := token.Pos(0)
+		for _, ev := range scopes[0].events[obj] {
+			if ev.kind == cpRecv && (firstRecv == 0 || ev.pos < firstRecv) {
+				firstRecv = ev.pos
+			}
+		}
+		for _, w := range waits {
+			if firstRecv == 0 || w < firstRecv {
+				amount := "more sends than fit"
+				if !unbounded {
+					amount = "up to " + strconv.FormatInt(sends, 10) + " goroutine sends"
+				}
+				p.Reportf(w, "Wait can deadlock: %s on channel %s (capacity %d) with no receive before the Wait", amount, obj.Name(), capacity)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineCapture flags variable-capture hazards at goroutine spawn
+// sites. Since Go 1.22 loop variables are per-iteration, so the
+// classic range-variable capture is safe; what still bites is state
+// the loop reuses across iterations while spawned goroutines read it:
+//
+//   - a goroutine capturing a variable declared outside its enclosing
+//     loop that the loop body reassigns — every iteration's goroutine
+//     races the next iteration's write (the pre-1.22 bug, rebuilt by
+//     hand);
+//   - a captured slice reassigned (reset, reused, appended) after the
+//     spawn with no WaitGroup.Wait in between — exactly the task-slice
+//     reuse pattern of the engine's epoch loops, which is only safe
+//     because the barrier Wait sits between the spawn and the reset.
+var GoroutineCapture = &Analyzer{
+	Name: "goroutinecapture",
+	Doc:  "loop-variable and slice aliasing captured by spawned goroutines",
+	Tier: TierConc,
+	Run:  runGoroutineCapture,
+}
+
+func runGoroutineCapture(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCaptures(p, fd)
+		}
+	}
+}
+
+func checkCaptures(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+
+	// Loop body spans, innermost resolvable by smallest span; plain
+	// rebindings of each variable; Wait call positions.
+	var loops []span
+	rebinds := make(map[types.Object][]token.Pos)
+	var waits []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+					if obj := info.ObjectOf(id); obj != nil {
+						rebinds[obj] = append(rebinds[obj], id.Pos())
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					rebinds[obj] = append(rebinds[obj], id.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			if _, name, ok := waitGroupCall(info, n); ok && name == "Wait" {
+				waits = append(waits, n.Pos())
+			}
+		}
+		return true
+	})
+	innermost := func(pos token.Pos) (span, bool) {
+		best := span{}
+		found := false
+		for _, l := range loops {
+			if !l.contains(pos) {
+				continue
+			}
+			if !found || (l.hi-l.lo) < (best.hi-best.lo) {
+				best, found = l, true
+			}
+		}
+		return best, found
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		litSpan := span{lit.Pos(), lit.End()}
+
+		// Captured variables: objects used inside the literal, declared
+		// in this function but outside the literal. First use position
+		// kept for deterministic reporting.
+		captured := make(map[types.Object]token.Pos)
+		var order []types.Object
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok || v.IsField() {
+				return true
+			}
+			if v.Pos() < fd.Pos() || v.Pos() >= fd.End() || litSpan.contains(v.Pos()) {
+				return true
+			}
+			if _, seen := captured[v]; !seen {
+				captured[v] = id.Pos()
+				order = append(order, v)
+			}
+			return true
+		})
+
+		loop, inLoop := innermost(g.Pos())
+		for _, v := range order {
+			// Rule 1: captured variable declared outside the innermost
+			// loop around the spawn, reassigned inside it — the next
+			// iteration overwrites what this goroutine reads.
+			if inLoop && !loop.contains(v.Pos()) {
+				for _, rb := range rebinds[v] {
+					if loop.contains(rb) && !litSpan.contains(rb) {
+						p.Reportf(g.Pos(), "goroutine captures %s, which the enclosing loop reassigns at line %d; pass it as an argument or declare it inside the loop",
+							v.Name(), p.Fset.Position(rb).Line)
+						break
+					}
+				}
+			}
+
+			// Rule 2: captured slice reassigned after the spawn with no
+			// Wait between — the goroutine may still be reading the old
+			// backing array while it is reused. In a loop the reset can
+			// also precede the spawn textually and strike on the next
+			// iteration (wrap-around), unless a Wait sits on that path.
+			if _, ok := v.Type().Underlying().(*types.Slice); !ok {
+				continue
+			}
+			for _, rb := range rebinds[v] {
+				if litSpan.contains(rb) {
+					continue
+				}
+				ordered := false   // rb can execute after the spawn
+				intervene := false // a Wait sits between spawn and rb
+				switch {
+				case rb > g.End():
+					ordered = true
+					for _, w := range waits {
+						if w > g.End() && w < rb {
+							intervene = true
+							break
+						}
+					}
+				case inLoop && loop.contains(rb) && rb < g.Pos():
+					ordered = true
+					for _, w := range waits {
+						if (w > g.End() && w < loop.hi) || (loop.contains(w) && w < rb) {
+							intervene = true
+							break
+						}
+					}
+				}
+				if ordered && !intervene {
+					p.Reportf(rb, "slice %s is reassigned while the goroutine spawned at line %d may still read it; Wait before reusing the backing array",
+						v.Name(), p.Fset.Position(g.Pos()).Line)
+				}
+			}
+		}
+		return true
+	})
+}

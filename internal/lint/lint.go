@@ -124,7 +124,8 @@ type Analyzer struct {
 	Doc string
 	// Tier groups analyzers for selection by cmd/cachelint -tier:
 	// "intra" (single-package correctness), "inter" (interprocedural
-	// correctness), or "perf" (hot-path performance).
+	// correctness), "perf" (hot-path performance), or "conc"
+	// (concurrency isolation: the epoch-ownership contract).
 	Tier string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)

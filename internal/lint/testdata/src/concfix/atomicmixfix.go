@@ -1,0 +1,50 @@
+package concfix
+
+import "sync/atomic"
+
+// flags is a bit vector whose set side is atomic so concurrent
+// builders can share it; every other access must be atomic too.
+type flags struct {
+	words []uint64
+	n     int
+}
+
+func newFlags(n int) *flags {
+	return &flags{words: make([]uint64, (n+63)/64), n: n}
+}
+
+func (f *flags) set(i int) {
+	atomic.OrUint64(&f.words[i/64], 1<<(uint(i)%64))
+}
+
+// testPlain races the atomic OR: the plain load can observe a torn or
+// stale word.
+func (f *flags) testPlain(i int) bool {
+	return f.words[i/64]&(1<<(uint(i)%64)) != 0 // want "plain access to flags.words"
+}
+
+// testFixed is the atomic variant.
+func (f *flags) testFixed(i int) bool {
+	return atomic.LoadUint64(&f.words[i/64])&(1<<(uint(i)%64)) != 0
+}
+
+// count stays clean: the index-only range reads just the slice
+// header, and the element loads are atomic.
+func (f *flags) count() int {
+	n := 0
+	for i := range f.words {
+		for w := atomic.LoadUint64(&f.words[i]); w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// size stays clean: len never touches element memory.
+func (f *flags) size() int { return 64 * len(f.words) }
+
+// snapshot documents an audited plain read.
+func (f *flags) snapshot() []uint64 {
+	//lint:allow atomicmix fixture: snapshot taken while writers are quiescent
+	return f.words
+}

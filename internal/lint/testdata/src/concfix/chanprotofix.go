@@ -1,0 +1,93 @@
+package concfix
+
+import "sync"
+
+// produce sends into its channel parameter; the summary fixpoint
+// carries the effect to callers.
+func produce(ch chan<- int, v int) { ch <- v }
+
+// closeIt closes its channel parameter.
+func closeIt(ch chan int) { close(ch) }
+
+// ChanDoubleClose closes the same channel twice.
+func ChanDoubleClose() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+	close(ch) // want "channel ch closed twice"
+}
+
+// ChanHelperClose re-closes through a helper, across the call
+// boundary.
+func ChanHelperClose() {
+	ch := make(chan int)
+	close(ch)
+	closeIt(ch) // want "call to closeIt may close channel ch twice"
+}
+
+// ChanCloseInLoop closes once per iteration.
+func ChanCloseInLoop(n int) {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		close(ch) // want "close of channel ch inside a loop executes more than once"
+	}
+}
+
+// ChanSendAfterClose sends directly and through the helper after the
+// close.
+func ChanSendAfterClose() {
+	ch := make(chan int, 4)
+	close(ch)
+	ch <- 1        // want "send on channel ch after close"
+	produce(ch, 2) // want "call to produce may send on channel ch after close"
+}
+
+// ChanCapacityDeadlock spawns unbounded producers into a two-slot
+// buffer and Waits before the first receive: the producers block on
+// the full channel and the Wait never returns.
+func ChanCapacityDeadlock(n int) []int {
+	ch := make(chan int, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch <- 1
+		}()
+	}
+	wg.Wait() // want "Wait can deadlock"
+	close(ch)
+	var out []int
+	for v := range ch {
+		out = append(out, v)
+	}
+	return out
+}
+
+// ChanCloseAllowed documents an audited double close.
+func ChanCloseAllowed() {
+	ch := make(chan int)
+	close(ch)
+	//lint:allow chanproto fixture: audited idempotent shutdown
+	close(ch)
+}
+
+// ChanFixed drains the channel before the Wait, so producers can
+// never block on a full buffer.
+func ChanFixed() int {
+	ch := make(chan int, 2)
+	var wg sync.WaitGroup
+	wg.Add(4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer wg.Done()
+			ch <- 1
+		}()
+	}
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += <-ch
+	}
+	wg.Wait()
+	return total
+}

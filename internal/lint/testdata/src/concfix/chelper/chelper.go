@@ -1,0 +1,12 @@
+// Package chelper is the dependency package of the concfix fixtures:
+// its functions are loaded for the call graph but not analyzed, so
+// findings inside them must surface at the caller's frontier with an
+// "(in Func)" attribution.
+package chelper
+
+// Counter is external state a worker-reachable helper mutates.
+type Counter struct{ N int }
+
+// Bump writes through its pointer parameter. A goroutine calling it
+// gets the finding at the call site, attributed to Bump.
+func Bump(c *Counter) { c.N++ }

@@ -1,0 +1,77 @@
+// Package concfix exercises the concurrency-isolation tier: the
+// epochshare ownership walk with its //conc:shared///conc:barrier
+// directives, atomic/plain mixing, channel protocols, WaitGroup
+// balance and goroutine capture hazards — each with flagged,
+// //lint:allow-suppressed and fixed variants.
+package concfix
+
+import "cachepart/internal/lint/testdata/src/concfix/chelper"
+
+// hits is coordinator-owned state the workers must not touch.
+var hits int
+
+// SharedCounters is legitimately worker-visible.
+//
+//conc:shared per-worker slots indexed by the worker's own id
+type SharedCounters struct{ slots [4]int }
+
+// mergeResults folds worker results into coordinator state.
+//
+//conc:barrier merge runs on the coordinator with workers quiescent
+func mergeResults() { hits++ }
+
+// badDirective carries a bare marker with no rationale; the trailing
+// position keeps gofmt from reordering the malformed form away.
+type badDirective struct{ n int } //conc:shared
+// want "malformed directive"
+
+// stepper is the dispatch seam the class-hierarchy edge closes.
+type stepper interface{ step() }
+
+// tally implements stepper by writing package state.
+type tally struct{}
+
+func (tally) step() {
+	hits++ // want "rebinds non-local variable hits"
+}
+
+// EpochShareFlagged spawns a worker that breaks the ownership
+// contract four ways: a package-variable write, a barrier call, a
+// dependency-package write surfaced at the frontier, and an
+// interface-dispatched write inside tally.step.
+func EpochShareFlagged(sc *SharedCounters, c *chelper.Counter, s stepper) {
+	done := make(chan struct{})
+	go func() {
+		hits++          // want "rebinds non-local variable hits"
+		sc.slots[0]++   // clean: SharedCounters is //conc:shared
+		mergeResults()  // want "calls //conc:barrier function mergeResults"
+		chelper.Bump(c) // want "(in Bump)"
+		s.step()
+		close(done)
+	}()
+	<-done
+	_ = badDirective{n: 1}
+}
+
+// EpochShareAllowed documents an audited exception to the contract.
+func EpochShareAllowed() {
+	done := make(chan struct{})
+	go func() {
+		//lint:allow epochshare fixture: single worker, joined on done below
+		hits++
+		close(done)
+	}()
+	<-done
+}
+
+// EpochShareFixed keeps every write goroutine-local and hands the
+// result back over a channel.
+func EpochShareFixed() int {
+	res := make(chan int, 1)
+	go func() {
+		local := 0
+		local++
+		res <- local
+	}()
+	return <-res
+}

@@ -1,0 +1,87 @@
+package concfix
+
+import "sync"
+
+// CaptureLoopVar rebuilds the pre-1.22 capture bug by hand: cur is
+// declared outside the loop and reassigned each iteration, so every
+// spawned goroutine races the next iteration's write. The reassignment
+// itself is also a slice reuse the goroutines may still be reading.
+func CaptureLoopVar(rows [][]int) []int {
+	res := make(chan int, len(rows))
+	cur := []int{}
+	for i := range rows {
+		cur = rows[i] // want "slice cur is reassigned while the goroutine spawned at line"
+		go func() {   // want "goroutine captures cur, which the enclosing loop reassigns"
+			res <- cur[0]
+		}()
+	}
+	out := make([]int, 0, len(rows))
+	for range rows {
+		out = append(out, <-res)
+	}
+	return out
+}
+
+// SliceReuseNoWait reassigns the captured slice while the goroutine
+// may still be reading the old backing array.
+func SliceReuseNoWait(a, b []int) int {
+	res := make(chan int, 2)
+	buf := a
+	go func() {
+		res <- buf[0]
+	}()
+	buf = b // want "slice buf is reassigned while the goroutine spawned at line"
+	go func() {
+		res <- buf[0]
+	}()
+	return <-res + <-res
+}
+
+// SliceReuseAllowed documents an audited reuse.
+func SliceReuseAllowed(a, b []int) int {
+	res := make(chan int, 1)
+	buf := a
+	go func() {
+		res <- buf[0]
+	}()
+	//lint:allow goroutinecapture fixture: audited, reader drains res first
+	buf = b
+	return <-res + buf[0]
+}
+
+// CaptureFixed passes the row as an argument instead of capturing it.
+func CaptureFixed(rows [][]int) []int {
+	res := make(chan int, len(rows))
+	for i := range rows {
+		go func(row []int) {
+			res <- row[0]
+		}(rows[i])
+	}
+	out := make([]int, 0, len(rows))
+	for range rows {
+		out = append(out, <-res)
+	}
+	return out
+}
+
+// SliceReuseFixed joins before the reuse — the engine's task-slice
+// pattern, safe only because the Wait sits between spawn and reset.
+func SliceReuseFixed(a, b []int) int {
+	var wg sync.WaitGroup
+	res := make(chan int, 2)
+	buf := a
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res <- buf[0]
+	}()
+	wg.Wait()
+	buf = b
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res <- buf[0]
+	}()
+	wg.Wait()
+	return <-res + <-res
+}

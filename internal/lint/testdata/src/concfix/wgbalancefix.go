@@ -1,0 +1,81 @@
+package concfix
+
+import (
+	"errors"
+	"sync"
+)
+
+var errBoom = errors.New("boom")
+
+// WGLeakOnError returns early between the Add and the Wait that would
+// join it — the error path the happy-path tests never exercise.
+func WGLeakOnError(fail bool) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	if fail {
+		return errBoom // want "return between wg.Add and wg.Wait leaks"
+	}
+	wg.Wait()
+	return nil
+}
+
+// WGAddInGoroutine registers itself only after it is running: the
+// coordinator's Wait can pass before the Add.
+func WGAddInGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "wg.Add inside the spawned goroutine races wg.Wait"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// WGSkippedDone can return before reaching its Done, deadlocking the
+// Wait forever.
+func WGSkippedDone(fail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if fail {
+			return
+		}
+		wg.Done() // want "wg.Done is skipped when the goroutine returns at line"
+	}()
+	wg.Wait()
+}
+
+// WGAllowed documents an audited leak on a shutdown path.
+func WGAllowed(fail bool) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	if fail {
+		//lint:allow wgbalance fixture: audited abandon-on-shutdown path
+		return errBoom
+	}
+	wg.Wait()
+	return nil
+}
+
+// WGFixed defers the Wait so every path joins, and defers the Done so
+// every goroutine exit signals.
+func WGFixed(fail bool) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if fail {
+			return
+		}
+	}()
+	if fail {
+		return errBoom
+	}
+	return nil
+}

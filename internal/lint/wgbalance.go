@@ -1,0 +1,316 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WGBalance checks sync.WaitGroup discipline on all paths, including
+// early error returns — the unwind paths the happy-path tests never
+// exercise, where an Add without its Wait leaks the spawned
+// goroutines, or a skipped Done deadlocks the Wait forever. A summary
+// fixpoint tracks Add/Done/Wait effects on *sync.WaitGroup parameters,
+// so the rules see through helpers.
+//
+// Three rules:
+//
+//   - a return statement between an Add and the Wait that would join
+//     it (and no deferred Wait) leaks the goroutines on that path;
+//   - a Done inside a spawned goroutine that a return statement can
+//     bypass (Done not deferred) deadlocks the Wait;
+//   - an Add inside the spawned goroutine itself races the Wait — the
+//     Wait can pass before the goroutine has registered.
+var WGBalance = &Analyzer{
+	Name:      "wgbalance",
+	Doc:       "sync.WaitGroup Add/Done/Wait balance on all paths including error returns",
+	Tier:      TierConc,
+	RunModule: runWGBalance,
+}
+
+// wgSum records which *sync.WaitGroup parameters a function
+// adds/dones/waits on, as parameter-index bitmasks.
+type wgSum struct{ adds, dones, waits uint64 }
+
+func runWGBalance(p *ModulePass) {
+	sums := wgSummaries(p.Prog)
+	for _, fn := range p.Prog.Funcs {
+		if !p.analyzed(fn) || !underAny(fn.Pkg.Path, p.Config.SimPrefixes) {
+			continue
+		}
+		checkWGFunc(p, fn, sums)
+	}
+}
+
+func wgSummaries(prog *Program) map[*FuncNode]*wgSum {
+	sums := make(map[*FuncNode]*wgSum, len(prog.Funcs))
+	for _, fn := range prog.Funcs {
+		sums[fn] = &wgSum{}
+	}
+	prog.fixpoint(func(fn *FuncNode) bool {
+		info := fn.Pkg.Info
+		sig := fn.Obj.Type().(*types.Signature)
+		sum := sums[fn]
+		before := *sum
+		paramBit := func(obj types.Object) (uint64, bool) {
+			if obj == nil {
+				return 0, false
+			}
+			if i := paramIndexOf(sig, obj); i >= 0 {
+				return 1 << uint(i), true
+			}
+			return 0, false
+		}
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if root, name, ok := waitGroupCall(info, call); ok {
+				if bit, ok := paramBit(root); ok {
+					switch name {
+					case "Add":
+						sum.adds |= bit
+					case "Done":
+						sum.dones |= bit
+					case "Wait":
+						sum.waits |= bit
+					}
+				}
+				return true
+			}
+			callee := prog.NodeOf(calleeObj(info, call))
+			if callee == nil {
+				return true
+			}
+			csum := sums[callee]
+			for ai, arg := range call.Args {
+				if ai >= 64 {
+					break
+				}
+				if !isWaitGroupType(info.TypeOf(arg)) {
+					continue
+				}
+				bit, ok := paramBit(rootObj(info, arg))
+				if !ok {
+					continue
+				}
+				if csum.adds&(1<<uint(ai)) != 0 {
+					sum.adds |= bit
+				}
+				if csum.dones&(1<<uint(ai)) != 0 {
+					sum.dones |= bit
+				}
+				if csum.waits&(1<<uint(ai)) != 0 {
+					sum.waits |= bit
+				}
+			}
+			return true
+		})
+		return *sum != before
+	})
+	return sums
+}
+
+// wgEvents are the per-root operation positions of one scope.
+type wgEvents struct {
+	adds, dones, waits, returns []token.Pos
+	deferredDones               []token.Pos
+	deferredWait                bool
+}
+
+func checkWGFunc(p *ModulePass, fn *FuncNode, sums map[*FuncNode]*wgSum) {
+	info := fn.Pkg.Info
+	body := fn.Decl.Body
+
+	// Scope partition and defer spans, as in chanproto: scope 0 is the
+	// coordinator body, scopes 1..n are goroutine-spawned literals.
+	var goSpans, deferSpans []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				goSpans = append(goSpans, span{lit.Body.Pos(), lit.Body.End()})
+			}
+		case *ast.DeferStmt:
+			deferSpans = append(deferSpans, span{n.Pos(), n.End()})
+		}
+		return true
+	})
+	scopeOf := func(pos token.Pos) int {
+		for i, sp := range goSpans {
+			if sp.contains(pos) {
+				return i + 1
+			}
+		}
+		return 0
+	}
+	deferred := func(pos token.Pos) bool {
+		for _, sp := range deferSpans {
+			if sp.contains(pos) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Events per (wait group root, scope), roots in first-seen order.
+	type scoped map[types.Object]*wgEvents
+	scopes := make([]scoped, len(goSpans)+1)
+	for i := range scopes {
+		scopes[i] = make(scoped)
+	}
+	var roots []types.Object
+	eventsFor := func(root types.Object, pos token.Pos) *wgEvents {
+		s := scopes[scopeOf(pos)]
+		ev := s[root]
+		if ev == nil {
+			ev = &wgEvents{}
+			s[root] = ev
+			seen := false
+			for _, r := range roots {
+				if r == root {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				roots = append(roots, root)
+			}
+		}
+		return ev
+	}
+	record := func(root types.Object, name string, pos token.Pos) {
+		ev := eventsFor(root, pos)
+		switch name {
+		case "Add":
+			ev.adds = append(ev.adds, pos)
+		case "Done":
+			if deferred(pos) {
+				ev.deferredDones = append(ev.deferredDones, pos)
+			} else {
+				ev.dones = append(ev.dones, pos)
+			}
+		case "Wait":
+			if deferred(pos) {
+				ev.deferredWait = true
+			} else {
+				ev.waits = append(ev.waits, pos)
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			// Attributed to every root lazily below; store per scope
+			// under a nil root sentinel.
+			ev := eventsFor(nil, n.Pos())
+			ev.returns = append(ev.returns, n.Pos())
+		case *ast.CallExpr:
+			if root, name, ok := waitGroupCall(info, n); ok {
+				if root != nil {
+					record(root, name, n.Pos())
+				}
+				return true
+			}
+			callee := p.Prog.NodeOf(calleeObj(info, n))
+			if callee == nil {
+				return true
+			}
+			csum := sums[callee]
+			for ai, arg := range n.Args {
+				if ai >= 64 {
+					break
+				}
+				if !isWaitGroupType(info.TypeOf(arg)) {
+					continue
+				}
+				root := rootObj(info, arg)
+				if root == nil {
+					continue
+				}
+				if csum.adds&(1<<uint(ai)) != 0 {
+					record(root, "Add", n.Pos())
+				}
+				if csum.dones&(1<<uint(ai)) != 0 {
+					record(root, "Done", n.Pos())
+				}
+				if csum.waits&(1<<uint(ai)) != 0 {
+					record(root, "Wait", n.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	for _, root := range roots {
+		if root == nil {
+			continue
+		}
+		name := root.Name()
+
+		// Rule 1: an early return that bypasses the Wait joining an
+		// earlier Add leaks the goroutines on that path.
+		coord := scopes[0][root]
+		if coord != nil && !coord.deferredWait {
+			returns := scopes[0][nil]
+			if returns != nil {
+				for _, r := range returns.returns {
+					leaked := false
+					for _, a := range coord.adds {
+						if a >= r {
+							continue
+						}
+						// The first Wait after the Add must come after
+						// the return for the path to leak.
+						covered := false
+						for _, w := range coord.waits {
+							if w > a && w <= r {
+								covered = true
+								break
+							}
+						}
+						later := false
+						for _, w := range coord.waits {
+							if w > r {
+								later = true
+								break
+							}
+						}
+						if !covered && later {
+							leaked = true
+							break
+						}
+					}
+					if leaked {
+						p.Reportf(r, "return between %s.Add and %s.Wait leaks the spawned goroutines on this path; defer the Wait or join before returning", name, name)
+					}
+				}
+			}
+		}
+
+		// Rules 2 and 3: inside each spawned goroutine.
+		for si := 1; si < len(scopes); si++ {
+			ev := scopes[si][root]
+			if ev == nil {
+				continue
+			}
+			for _, a := range ev.adds {
+				p.Reportf(a, "%s.Add inside the spawned goroutine races %s.Wait; call Add before the go statement", name, name)
+			}
+			returns := scopes[si][nil]
+			for _, d := range ev.dones {
+				if returns == nil {
+					break
+				}
+				for _, r := range returns.returns {
+					if r < d {
+						p.Reportf(d, "%s.Done is skipped when the goroutine returns at line %d; defer %s.Done() at the top of the goroutine", name, p.Fset.Position(r).Line, name)
+						break
+					}
+				}
+			}
+		}
+	}
+}

@@ -33,7 +33,13 @@ if [ "$mode" = lint ] || [ "$mode" = all ]; then
 	echo '== go vet ./...'
 	go vet ./...
 
-	# All three tiers (intra, inter, perf) against the checked-in
+	# The concurrency-isolation tier alone first: a clean epoch-
+	# ownership report is a standalone invariant, independent of the
+	# baseline used below.
+	echo '== go run ./cmd/cachelint -tier=conc ./...'
+	go run ./cmd/cachelint -tier=conc ./...
+
+	# All four tiers (intra, inter, perf, conc) against the checked-in
 	# baseline of accepted findings.
 	echo '== go run ./cmd/cachelint -baseline .cachelint-baseline.jsonl ./...'
 	go run ./cmd/cachelint -baseline .cachelint-baseline.jsonl ./...
@@ -43,8 +49,8 @@ if [ "$mode" = test ] || [ "$mode" = all ]; then
 	echo '== go test ./...'
 	go test ./...
 
-	echo '== go test -race (engine, cachesim)'
-	go test -race ./internal/engine/... ./internal/cachesim/...
+	echo '== go test -race (engine, cachesim, exec)'
+	go test -race ./internal/engine/... ./internal/cachesim/... ./internal/exec/...
 
 	echo '== go test -race (harness parallel-mode equivalence)'
 	go test -race -run 'Parallel' ./internal/harness/...

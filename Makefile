@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint perflint conclint race chaos check bench
+.PHONY: build test lint perflint conclint race chaos overload check bench
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,9 @@ bench:
 
 chaos:
 	sh scripts/check.sh chaos
+
+overload:
+	sh scripts/check.sh overload
 
 check:
 	sh scripts/check.sh

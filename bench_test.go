@@ -408,6 +408,35 @@ func BenchmarkServe(b *testing.B) {
 	}
 }
 
+// BenchmarkOverload — one FigOverload point at 3× rogue-polluter
+// overload on the static arm: SLO deadlines, polluter-first shedding,
+// circuit breakers and client retries end to end. The reported metric
+// is the headline robustness claim — victim p99 under no-shed over
+// victim p99 under polluter-first shedding (>1 means shedding the
+// polluter recovers the victim's tail).
+func BenchmarkOverload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := FigOverloadOpts(benchParams(), OverloadOptions{
+			Loads:    []float64{3.0},
+			Sheds:    []string{"none", "polluter"},
+			Arms:     []string{"static"},
+			Arrivals: 160,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			ld := r.Loads[0]
+			none, pol := ld.Run("static", "none"), ld.Run("static", "polluter")
+			if none != nil && pol != nil && pol.Tenants[r.Victim].P99 > 0 {
+				b.ReportMetric(float64(none.Tenants[r.Victim].P99)/float64(pol.Tenants[r.Victim].P99),
+					"victim_p99_recovery")
+				b.ReportMetric(pol.Tenants[r.Victim].SLOAttainment, "victim_slo_polluter")
+			}
+		}
+	}
+}
+
 // BenchmarkMaskWrite measures the engine's CUID-to-mask path (the
 // Section V-C overhead concern): one task move plus scheduler update.
 func BenchmarkMaskWrite(b *testing.B) {

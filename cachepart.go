@@ -184,6 +184,35 @@ type (
 	ServeLoad = harness.ServeLoad
 	// ServeArmReport is one partitioning arm's report at one load.
 	ServeArmReport = harness.ServeArmReport
+
+	// SLOConfig is a tenant's service-level objective: a client-visible
+	// p99 latency target and a queueing deadline past which a waiting
+	// query is dropped, both in simulated seconds.
+	SLOConfig = serve.SLO
+	// RetryConfig is the deterministic client retry model: attempts,
+	// seeded exponential backoff and a per-tenant retry budget.
+	RetryConfig = serve.Retry
+	// BreakerConfig tunes the per-tenant circuit breakers (sliding
+	// violation window, trip fraction, seeded half-open backoff).
+	BreakerConfig = serve.Breaker
+	// ShedPolicy decides which arrivals to turn away under overload;
+	// ShedNone, ShedFair and ShedPolluter implement it.
+	ShedPolicy   = serve.ShedPolicy
+	ShedNone     = serve.ShedNone
+	ShedFair     = serve.ShedFair
+	ShedPolluter = serve.ShedPolluter
+	// ServeFaultConfig seeds serving-plane chaos: arrival-burst and
+	// dispatcher-stall fault windows composing with resctrl faults.
+	ServeFaultConfig = fault.ServeConfig
+	// OverloadOptions parameterises the FigOverload sweep.
+	OverloadOptions = harness.OverloadOptions
+	// OverloadResult is the sweep: per rogue-polluter load multiple,
+	// every (cache arm, shed policy) cell.
+	OverloadResult = harness.OverloadResult
+	// OverloadLoad is one load multiple of the overload sweep.
+	OverloadLoad = harness.OverloadLoad
+	// OverloadRun is one (cache arm, shed policy) cell.
+	OverloadRun = harness.OverloadRun
 )
 
 // Dispatch disciplines for ServeConfig.Discipline.
@@ -390,4 +419,12 @@ var (
 	// latency and fairness; FigServeOpts takes explicit options.
 	FigServe     = harness.FigServe
 	FigServeOpts = harness.FigServeOpts
+	// FigOverload drives the serving tier past capacity with a rogue
+	// polluting cohort and sweeps SLO-aware shedding policies against
+	// the cache arms; FigOverloadOpts takes explicit options.
+	FigOverload     = harness.FigOverload
+	FigOverloadOpts = harness.FigOverloadOpts
+	// ParseShedPolicy resolves a shedding policy by name (none, fair,
+	// polluter).
+	ParseShedPolicy = serve.ParseShedPolicy
 )

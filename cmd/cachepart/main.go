@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|adapt|chaos|serve|all>
+//	cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|adapt|chaos|serve|overload|all>
 //
 // Flags tune the machine scale, core count and the simulated
 // measurement window; see -help.
@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"cachepart/internal/core"
+	"cachepart/internal/fault"
 	"cachepart/internal/harness"
 	"cachepart/internal/resctrl"
 	"cachepart/internal/serve"
@@ -45,10 +46,16 @@ func main() {
 		policy   = flag.String("policy", "taildrop", "serve: admission policy — taildrop or tokenbucket:<qps>:<burst>")
 		capacity = flag.Int("capacity", 0, "serve: per-tenant queue capacity (default 16)")
 		disc     = flag.String("disc", "clos", "serve: dispatch discipline — clos, fifo or rr")
-		arrivals = flag.Int("arrivals", 0, "serve: target arrivals per load point (default 240)")
+		arrivals = flag.Int("arrivals", 0, "serve: target arrivals per load point (default 240; overload default 320)")
+
+		// overload-only flags (DESIGN.md §15).
+		sloMult = flag.Float64("slo", 0, "overload: SLO multiple of each tenant's isolated mean latency (default 15)")
+		sheds   = flag.String("shed", "", "overload: comma-separated shedding policies to sweep — none, fair, polluter (default all)")
+		retries = flag.Int("retries", 0, "overload: client retry attempts per query (default 3; 1 disables retries)")
+		burst   = flag.Float64("burst", 0, "overload: inject a serving-plane arrival-burst fault at this rate factor (default off)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|adapt|chaos|serve|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: cachepart [flags] <fig1|fig4|fig5|fig6|fig9|fig10|fig11|fig12|proj|derive|cosched|adapt|chaos|serve|overload|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -129,6 +136,12 @@ func main() {
 		o, err = serveOptions(*rate, *loads, *tenants, *policy, *capacity, *arrivals, *disc)
 		if err == nil {
 			err = runServe(p, o)
+		}
+	case "overload":
+		var o harness.OverloadOptions
+		o, err = overloadOptions(*loads, *arrivals, *sloMult, *sheds, *retries, *burst, *capacity, *disc, *seed)
+		if err == nil {
+			err = runOverload(p, o)
 		}
 	case "all":
 		for _, f := range []func(harness.Params) error{
@@ -315,6 +328,54 @@ func runServe(p harness.Params, o harness.ServeOptions) error {
 		return err
 	}
 	harness.PrintServe(os.Stdout, r)
+	return nil
+}
+
+// overloadOptions folds the overload-only flags into
+// harness.OverloadOptions.
+func overloadOptions(loads string, arrivals int, sloMult float64, sheds string, retries int, burst float64, capacity int, disc string, seed int64) (harness.OverloadOptions, error) {
+	o := harness.OverloadOptions{Arrivals: arrivals, SLOMultiple: sloMult, QueueCap: capacity}
+	if loads != "" {
+		for _, field := range strings.Split(loads, ",") {
+			l, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil || l <= 0 {
+				return o, fmt.Errorf("bad -loads entry %q", field)
+			}
+			o.Loads = append(o.Loads, l)
+		}
+	}
+	if sheds != "" {
+		for _, field := range strings.Split(sheds, ",") {
+			name := strings.TrimSpace(field)
+			if _, err := serve.ParseShedPolicy(name); err != nil {
+				return o, err
+			}
+			o.Sheds = append(o.Sheds, name)
+		}
+	}
+	if retries > 0 {
+		o.Retry = serve.Retry{MaxAttempts: retries, BudgetFraction: 0.3}
+	}
+	if burst > 0 {
+		o.ServeFaults = &fault.ServeConfig{Seed: seed, Bursts: 1, BurstFactor: burst}
+	}
+	d, err := serve.ParseDiscipline(disc)
+	if err != nil {
+		return o, err
+	}
+	o.Discipline = d
+	return o, nil
+}
+
+// runOverload regenerates the FigOverload sweep: the serving tier
+// under rogue-polluter overload with SLO-aware shedding, retries and
+// circuit breakers.
+func runOverload(p harness.Params, o harness.OverloadOptions) error {
+	r, err := harness.FigOverloadOpts(p, o)
+	if err != nil {
+		return err
+	}
+	harness.PrintOverload(os.Stdout, r)
 	return nil
 }
 

@@ -56,6 +56,12 @@ type Completion struct {
 	// Done is the tick the execution's last phase barrier completed.
 	Done int64
 	Rows int64
+	// MemBytes is the DRAM traffic the execution's cores generated while
+	// it ran — demand fills, prefetch fills and dirty writebacks, in
+	// bytes. It is the per-completion telemetry the serving tier's
+	// overload control classifies LLC polluters from (the completion-
+	// granular analogue of the MBM counters internal/adapt reads).
+	MemBytes int64
 }
 
 // Wait returns the completion's post-admission queueing delay.
@@ -79,6 +85,16 @@ type Feed interface {
 	// wake; !ok with wake < 0 retires the group — it is never asked
 	// again and the run ends once every group has retired.
 	Next(group int, now int64) (sub Submission, ok bool, wake int64)
+}
+
+// CompletionObserver is an optional Feed extension: a feed that also
+// implements it sees every Completion the moment it is recorded, on
+// the coordinator, in completion order. The serving tier's overload
+// control uses the callback to drive circuit breakers and polluter
+// classification from live completion telemetry. Observe must be
+// deterministic — it runs inside the virtual-time loop.
+type CompletionObserver interface {
+	Observe(c Completion)
 }
 
 // OpenLoopOptions tunes an open-loop run. The zero value is usable.
@@ -147,6 +163,9 @@ type olGroup struct {
 	rowsAt  int64
 	busy    bool
 	retired bool
+	// statsAt snapshots the group cores' counters at dispatch, so the
+	// completion can report the execution's DRAM traffic delta.
+	statsAt cachesim.CoreStats
 	// wake is the next tick the feed should be asked for this group.
 	wake int64
 }
@@ -162,12 +181,26 @@ func (g *olGroup) clock(m *cachesim.Machine) int64 {
 	return t
 }
 
+// stats sums the group cores' counters at the current instant. Called
+// only on the coordinator (dispatch and phase barriers), where the
+// parallel mode's merged state is settled.
+func (g *olGroup) stats(m *cachesim.Machine) cachesim.CoreStats {
+	var s cachesim.CoreStats
+	for _, c := range g.cores {
+		s.Add(m.Stats(c))
+	}
+	return s
+}
+
 // olState carries an open-loop run's shared state.
 type olState struct {
 	groups []*olGroup
 	ctxs   []*exec.Ctx
 	ces    *epochState
 	done   []Completion
+	// obs is the feed's optional completion callback (nil when the feed
+	// does not implement CompletionObserver).
+	obs CompletionObserver
 	// results accumulates per-group counters during the run; the final
 	// stats and fault tallies are folded in by openLoopResults.
 	results []GroupResult
@@ -184,6 +217,9 @@ func (e *Engine) RunOpenLoop(groups [][]int, feed Feed, opts OpenLoopOptions) (*
 	}
 	if feed == nil {
 		return nil, fmt.Errorf("engine: nil feed")
+	}
+	if obs, ok := feed.(CompletionObserver); ok {
+		st.obs = obs
 	}
 	if opts.Parallel {
 		err = e.openLoopParallel(st, feed, opts)
@@ -300,6 +336,7 @@ func (e *Engine) dispatch(ol *olState, g *olGroup, feed Feed, now int64) error {
 	}
 	g.st, g.sub, g.start, g.busy = st, sub, start, true
 	g.rowsAt = 0
+	g.statsAt = g.stats(e.m)
 	return nil
 }
 
@@ -316,14 +353,20 @@ func (e *Engine) completeOrAdvance(ol *olState, g *olGroup) error {
 	if st.phaseIdx < len(st.phases) {
 		return e.armPhase(st)
 	}
-	ol.done = append(ol.done, Completion{
-		Tag:     g.sub.Tag,
-		Group:   g.id,
-		Release: g.sub.Release,
-		Start:   g.start,
-		Done:    t,
-		Rows:    st.rows,
-	})
+	d := g.stats(e.m).Sub(g.statsAt)
+	c := Completion{
+		Tag:      g.sub.Tag,
+		Group:    g.id,
+		Release:  g.sub.Release,
+		Start:    g.start,
+		Done:     t,
+		Rows:     st.rows,
+		MemBytes: int64(d.LLCMisses+d.PrefetchIssued+d.Writebacks) * memory.LineSize,
+	}
+	ol.done = append(ol.done, c)
+	if ol.obs != nil {
+		ol.obs.Observe(c)
+	}
 	ol.results[g.id].BusyTicks += t - g.start
 	ol.results[g.id].Completed++
 	g.st, g.busy = nil, false

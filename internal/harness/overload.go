@@ -1,0 +1,314 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"cachepart/internal/adapt"
+	"cachepart/internal/fault"
+	"cachepart/internal/serve"
+)
+
+// overload.go: the FigOverload experiment — the serving tier driven
+// past capacity (1x–5x) under SLO-aware overload control, sweeping the
+// shedding policy (none / fair / polluter-first) against the three
+// cache arms (shared / static / adaptive). The question the figure
+// answers: when the system must drop work, does dropping the polluting
+// cohort first keep the cache-sensitive victim inside its SLO? The
+// paper's partitioning story says yes — the polluter's queries buy no
+// cache benefit, so shedding them frees both CPU time and LLC space.
+
+// OverloadOptions tunes the overload sweep.
+type OverloadOptions struct {
+	// Loads are rogue-tenant overload multiples (noisy-neighbor model):
+	// the well-behaved cohorts keep their nominal share of estimated
+	// capacity while the polluting reporting cohort offers Load × its
+	// provisioned rate. Default {1, 3, 5}.
+	Loads []float64
+	// Arrivals is the target arrival count per run; default 320 (long
+	// enough that steady state, not the warm-up transient, dominates
+	// the SLO accounting).
+	Arrivals int
+	// Sheds names the shedding policies to sweep (serve.ParseShedPolicy
+	// names); default {"none", "fair", "polluter"}.
+	Sheds []string
+	// Arms keeps only the named cache arms (shared / static /
+	// adaptive); empty keeps all three.
+	Arms []string
+	// SLOMultiple sets each tenant's SLO from its isolated baseline:
+	// target p99 = SLOMultiple × isolated mean, queueing deadline =
+	// 2 × SLOMultiple × isolated mean. Default 15: loose enough that a
+	// well-partitioned tenant at its provisioned rate sits comfortably
+	// inside the target, so violations measure interference and
+	// overload, not ordinary queueing noise.
+	SLOMultiple float64
+	// ShedThreshold is the queue-occupancy fraction where the fair and
+	// polluter-first policies begin shedding. The sweep defaults to 0.3
+	// — tighter than serve.DefaultShedThreshold — because a surging
+	// polluter saturates the dispatch groups long before the combined
+	// queues look full.
+	ShedThreshold float64
+	// Retry is the client retry model; zero value uses MaxAttempts 3
+	// with a 0.3 retry budget (set MaxAttempts 1 to disable).
+	Retry serve.Retry
+	// Breaker configures the per-tenant circuit breakers; zero value
+	// uses a 32-completion window (set Window < 0 error-free off is not
+	// supported — use a huge TripFraction instead).
+	Breaker serve.Breaker
+	// QueueCap bounds every tenant queue; default 16 as in FigServe.
+	QueueCap int
+	// Discipline and Policy configure the front end as in ServeOptions.
+	Discipline serve.Discipline
+	Policy     serve.AdmitPolicy
+	// Faults interposes control-plane chaos (resctrl fault injection);
+	// ServeFaults adds serving-plane chaos (arrival bursts, dispatcher
+	// stalls). Both compose.
+	Faults      *fault.Config
+	ServeFaults *fault.ServeConfig
+}
+
+func (o *OverloadOptions) setDefaults() {
+	if len(o.Loads) == 0 {
+		o.Loads = []float64{1, 3, 5}
+	}
+	if o.Arrivals <= 0 {
+		o.Arrivals = 320
+	}
+	if len(o.Sheds) == 0 {
+		o.Sheds = []string{"none", "fair", "polluter"}
+	}
+	if o.SLOMultiple <= 0 {
+		o.SLOMultiple = 15
+	}
+	if o.ShedThreshold <= 0 {
+		o.ShedThreshold = 0.3
+	}
+	if o.Retry.MaxAttempts == 0 {
+		o.Retry = serve.Retry{MaxAttempts: 3, BudgetFraction: 0.3}
+	}
+	if o.Breaker.Window == 0 {
+		o.Breaker = serve.Breaker{Window: 32}
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 16
+	}
+}
+
+// OverloadRun is one (cache arm, shed policy) cell at one load point.
+type OverloadRun struct {
+	Arm    string
+	Shed   string
+	Report *serve.Report
+}
+
+// OverloadLoad is one load point of the sweep.
+type OverloadLoad struct {
+	Load    float64
+	RateQPS float64
+	Runs    []OverloadRun
+}
+
+// OverloadResult is the FigOverload experiment.
+type OverloadResult struct {
+	CapacityQPS    float64
+	BaselineTicks  []float64
+	SecondsPerTick float64
+	Groups         int
+	// Victim and Polluter index the cache-sensitive OLTP cohort and the
+	// streaming reporting cohort in each report's Tenants.
+	Victim   int
+	Polluter int
+	Loads    []OverloadLoad
+}
+
+// Run returns the cell for the named (arm, shed) pair, nil if absent.
+func (l *OverloadLoad) Run(arm, shed string) *serve.Report {
+	for i := range l.Runs {
+		if l.Runs[i].Arm == arm && l.Runs[i].Shed == shed {
+			return l.Runs[i].Report
+		}
+	}
+	return nil
+}
+
+// FigOverload runs the overload sweep with default options.
+func FigOverload(p Params) (*OverloadResult, error) {
+	return FigOverloadOpts(p, OverloadOptions{})
+}
+
+// FigOverloadOpts runs the SLO-aware overload sweep: the FigServe
+// cohorts with per-tenant SLOs derived from their isolated baselines,
+// client retries and circuit breakers enabled, driven at Loads ×
+// capacity under every (shed policy, cache arm) pair. Reports are
+// bit-identical per (Params.Seed, options) — including under composed
+// control-plane and serving-plane chaos, at any worker count.
+func FigOverloadOpts(p Params, o OverloadOptions) (*OverloadResult, error) {
+	o.setDefaults()
+	sys, err := NewSystem(p)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.DisableAdaptive()
+	defer sys.DisableChaos()
+
+	groups := sys.serveGroups()
+	if len(groups) < 2 {
+		return nil, fmt.Errorf("harness: overload sweep needs at least 4 cores")
+	}
+	tenants, err := sys.serveTenants(len(groups))
+	if err != nil {
+		return nil, err
+	}
+	shares := make([]float64, len(tenants))
+	var shareSum float64
+	for ti := range tenants {
+		shares[ti] = serveShares[ti%len(serveShares)]
+		shareSum += shares[ti]
+	}
+	for ti := range shares {
+		shares[ti] /= shareSum
+	}
+	baselines, capacity, err := sys.calibrateServe(tenants, shares, groups)
+	if err != nil {
+		return nil, err
+	}
+	if o.Faults != nil {
+		if _, err := sys.EnableChaos(*o.Faults); err != nil {
+			return nil, err
+		}
+	}
+
+	// SLOs anchor to each tenant's isolated mean: the p99 target allows
+	// SLOMultiple of queueing slowdown, and clients hang up (deadline)
+	// at twice that.
+	secPerTick := sys.Machine.Seconds(1)
+	for ti := range tenants {
+		base := baselines[ti] * secPerTick
+		tenants[ti].SLO = serve.SLO{
+			TargetP99Seconds: o.SLOMultiple * base,
+			DeadlineSeconds:  2 * o.SLOMultiple * base,
+		}
+		tenants[ti].QueueCap = o.QueueCap
+	}
+
+	out := &OverloadResult{
+		CapacityQPS:    capacity,
+		BaselineTicks:  baselines,
+		SecondsPerTick: secPerTick,
+		Groups:         len(groups),
+		Victim:         0,
+		Polluter:       len(tenants) - 1,
+	}
+	for _, load := range o.Loads {
+		// The overload is polluter-driven: the reporting cohort surges to
+		// load × its provisioned rate while everyone else stays nominal —
+		// the only regime where shedding the right tenant can recover the
+		// victim at all.
+		var offered float64
+		for ti := range tenants {
+			r := capacity * shares[ti]
+			if ti == out.Polluter {
+				r *= load
+			}
+			tenants[ti].Process.Rate = r
+			offered += r
+		}
+		point := OverloadLoad{Load: load, RateQPS: offered}
+		for _, shedName := range o.Sheds {
+			shed, err := overloadShedPolicy(shedName, o.ShedThreshold)
+			if err != nil {
+				return nil, err
+			}
+			for _, arm := range sys.adaptArms(adapt.DefaultConfig()) {
+				if !armSelected(o.Arms, arm.name) {
+					continue
+				}
+				if err := arm.apply(); err != nil {
+					return nil, err
+				}
+				cfg := serve.Config{
+					Seed:       p.Seed,
+					Horizon:    float64(o.Arrivals) / offered,
+					Tenants:    tenants,
+					Policy:     o.Policy,
+					Discipline: o.Discipline,
+					Shed:       shed,
+					Retry:      o.Retry,
+					Breaker:    o.Breaker,
+					Faults:     o.ServeFaults,
+					Quantum:    p.Quantum,
+					Parallel:   p.Parallel,
+					Workers:    p.Workers,
+					EpochTicks: p.EpochTicks,
+				}
+				r, err := serve.Run(sys.Engine, groups, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("overload %s/%s at %.1fx: %w", arm.name, shedName, load, err)
+				}
+				point.Runs = append(point.Runs, OverloadRun{Arm: arm.name, Shed: shedName, Report: r})
+			}
+			sys.DisableAdaptive()
+		}
+		out.Loads = append(out.Loads, point)
+	}
+	return out, nil
+}
+
+// overloadShedPolicy builds the named policy at the sweep's threshold
+// (serve.ParseShedPolicy keeps the package defaults for the CLI).
+func overloadShedPolicy(name string, threshold float64) (serve.ShedPolicy, error) {
+	switch name {
+	case "none", "":
+		return serve.ShedNone{}, nil
+	case "fair":
+		return &serve.ShedFair{Threshold: threshold}, nil
+	case "polluter":
+		return &serve.ShedPolluter{Threshold: threshold}, nil
+	}
+	return serve.ParseShedPolicy(name)
+}
+
+// armSelected filters cache arms by name; an empty filter keeps all.
+func armSelected(arms []string, name string) bool {
+	if len(arms) == 0 {
+		return true
+	}
+	for _, a := range arms {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// PrintOverload renders the sweep: per load point and shed policy,
+// each arm's victim-tenant p99, aggregate goodput, SLO attainment and
+// the per-reason drop/retry accounting.
+func PrintOverload(w io.Writer, r *OverloadResult) {
+	fmt.Fprintf(w, "FigOverload — SLO-aware overload control over %d dispatch groups, capacity ≈ %.0f q/s\n",
+		r.Groups, r.CapacityQPS)
+	fmt.Fprintln(w, "(latencies in simulated µs; victim = oltp cohort; drops split deadline/shed/breaker/queue+policy)")
+	us := func(ticks int64) float64 { return float64(ticks) * r.SecondsPerTick * 1e6 }
+	for _, ld := range r.Loads {
+		fmt.Fprintf(w, "\nload %.1fx (%.0f q/s offered)\n", ld.Load, ld.RateQPS)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "arm\tshed\tvictim p99 µs\tvictim SLO\tgood q/s\tSLO att\tdl\tshed\tbrk\tother\tretries\tlost")
+		for _, run := range ld.Runs {
+			rep := run.Report
+			v := rep.Tenants[r.Victim]
+			var dl, sh, brk, other int64
+			for _, tr := range rep.Tenants {
+				dl += tr.DropDeadline
+				sh += tr.DropShed
+				brk += tr.DropBreaker
+				other += tr.DropPolicy + tr.DropQueue
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.3f\t%.0f\t%.3f\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				run.Arm, run.Shed, us(v.P99), v.SLOAttainment,
+				rep.GoodQPS, rep.SLOAttainment, dl, sh, brk, other, rep.Retries, rep.Abandoned)
+		}
+		tw.Flush()
+	}
+	fmt.Fprintln(w)
+}

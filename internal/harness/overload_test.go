@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"cachepart/internal/fault"
+)
+
+// overloadTestOpts pins the 3x rogue-polluter point the acceptance
+// criterion cares about, with both the no-shed control and the
+// polluter-first treatment.
+func overloadTestOpts() OverloadOptions {
+	return OverloadOptions{Loads: []float64{3.0}, Sheds: []string{"none", "polluter"}}
+}
+
+// TestFigOverloadSmoke prints a reduced sweep at test scale (visual
+// check with -v; the assertions below pin the contract).
+func TestFigOverloadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in short mode")
+	}
+	r, err := FigOverloadOpts(Fast(), OverloadOptions{Loads: []float64{1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintOverload(os.Stderr, r)
+}
+
+// TestFigOverloadAcceptance pins the experiment's headline claim: at
+// 3x rogue-polluter overload, polluter-first shedding recovers the
+// victim tenant — lower p99 AND higher SLO attainment than no-shed —
+// on every cache arm.
+func TestFigOverloadAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload sweep in short mode")
+	}
+	r, err := FigOverloadOpts(Fast(), overloadTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := r.Loads[0]
+	for _, arm := range []string{"shared", "static", "adaptive"} {
+		none, pol := ld.Run(arm, "none"), ld.Run(arm, "polluter")
+		if none == nil || pol == nil {
+			t.Fatalf("arm %q missing none/polluter cells", arm)
+		}
+		vNone, vPol := none.Tenants[r.Victim], pol.Tenants[r.Victim]
+		if vPol.P99 >= vNone.P99 {
+			t.Errorf("%s: polluter-first victim p99 %d >= no-shed %d at 3x", arm, vPol.P99, vNone.P99)
+		}
+		if vPol.SLOAttainment <= vNone.SLOAttainment {
+			t.Errorf("%s: polluter-first victim SLO attainment %.3f <= no-shed %.3f at 3x",
+				arm, vPol.SLOAttainment, vNone.SLOAttainment)
+		}
+		// The recovery comes from shedding the polluter, not from
+		// accounting tricks: the polluting cohort is classified and
+		// actually shed.
+		if p := pol.Tenants[r.Polluter]; !p.Polluter || p.DropShed == 0 {
+			t.Errorf("%s: polluter cohort not shed (classified=%v, shed=%d)", arm, p.Polluter, p.DropShed)
+		}
+		if vPol.DropShed != 0 {
+			t.Errorf("%s: polluter-first shed %d victim queries", arm, vPol.DropShed)
+		}
+	}
+}
+
+// overloadChaosOpts composes control-plane resctrl chaos with
+// serving-plane bursts and stalls on top of retries and breakers.
+func overloadChaosOpts() OverloadOptions {
+	o := OverloadOptions{
+		Loads: []float64{3.0},
+		Sheds: []string{"polluter"},
+		Arms:  []string{"static", "adaptive"},
+	}
+	cfg := fault.Uniform(0.2, 7)
+	o.Faults = &cfg
+	o.ServeFaults = &fault.ServeConfig{Seed: 7, Bursts: 1, BurstFactor: 3, Stalls: 1}
+	return o
+}
+
+// TestFigOverloadChaosReplay pins chaos interop: the sweep under
+// composed control-plane and serving-plane fault injection replays
+// bit-identically per (seed, fault-seed), and a different fault seed
+// actually changes the outcome.
+func TestFigOverloadChaosReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload sweep in short mode")
+	}
+	a, err := FigOverloadOpts(Fast(), overloadChaosOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FigOverloadOpts(Fast(), overloadChaosOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("chaos overload sweep differs across identical replays")
+	}
+	reseed := overloadChaosOpts()
+	reseed.ServeFaults.Seed = 8
+	c, err := FigOverloadOpts(Fast(), reseed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different serving-plane fault seed left the sweep unchanged")
+	}
+	// Under overload control admitted != completed is expected (queries
+	// drop); the accounting identity must still close per tenant.
+	for _, ld := range a.Loads {
+		for _, run := range ld.Runs {
+			for _, tr := range run.Report.Tenants {
+				if tr.Attempts != tr.Completed+tr.Dropped {
+					t.Errorf("%s/%s tenant %s: attempts %d != completed %d + dropped %d",
+						run.Arm, run.Shed, tr.Name, tr.Attempts, tr.Completed, tr.Dropped)
+				}
+				if tr.Attempts != tr.Arrivals+tr.Retries {
+					t.Errorf("%s/%s tenant %s: attempts %d != arrivals %d + retries %d",
+						run.Arm, run.Shed, tr.Name, tr.Attempts, tr.Arrivals, tr.Retries)
+				}
+			}
+		}
+	}
+}
+
+// TestFigOverloadWorkerInvariance pins that the chaos-composed sweep
+// is bit-identical between Workers=1 and Workers=4 in epoch-parallel
+// mode.
+func TestFigOverloadWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload sweep in short mode")
+	}
+	run := func(workers int) *OverloadResult {
+		t.Helper()
+		p := Fast()
+		p.Parallel = true
+		p.Workers = workers
+		p.EpochTicks = 1 << 12
+		r, err := FigOverloadOpts(p, overloadChaosOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if a, b := run(1), run(4); !reflect.DeepEqual(a, b) {
+		t.Error("overload sweep differs between Workers=1 and Workers=4")
+	}
+}

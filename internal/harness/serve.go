@@ -387,11 +387,17 @@ func PrintServe(w io.Writer, r *ServeResult) {
 	for _, ld := range r.Loads {
 		fmt.Fprintf(w, "\nload %.1fx (%.0f q/s offered)\n", ld.Load, ld.RateQPS)
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "arm\tcompleted\tdropped\tq/s\tp50 µs\tp99 µs\tp999 µs\tJain")
+		fmt.Fprintln(tw, "arm\tcompleted\tdropped\tdl\tshed\tbrk\tq/s\tp50 µs\tp99 µs\tp999 µs\tJain")
 		for _, arm := range ld.Arms {
 			rep := arm.Report
-			fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.1f\t%.1f\t%.1f\t%.3f\n",
-				arm.Name, rep.Completed, rep.Dropped, rep.QPS,
+			var dl, sh, brk int64
+			for _, tr := range rep.Tenants {
+				dl += tr.DropDeadline
+				sh += tr.DropShed
+				brk += tr.DropBreaker
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.0f\t%.1f\t%.1f\t%.1f\t%.3f\n",
+				arm.Name, rep.Completed, rep.Dropped, dl, sh, brk, rep.QPS,
 				us(rep.P50), us(rep.P99), us(rep.P999), rep.Jain)
 		}
 		tw.Flush()

@@ -181,6 +181,15 @@ func TestServeFixGolden(t *testing.T) {
 	runGolden(t, "servefix", []*Analyzer{Nondeterminism, TaintFlow})
 }
 
+// TestOverloadFixGolden proves the overload control layer sits inside
+// the determinism net: SLO deadlines, retry backoff and serving-plane
+// burst faults are simulator state, so a wall-clock deadline or a
+// global-rand backoff is flagged through a laundering helper while
+// the seeded configuration stays clean.
+func TestOverloadFixGolden(t *testing.T) {
+	runGolden(t, "overloadfix", []*Analyzer{Nondeterminism, TaintFlow})
+}
+
 func TestTimeUnitsGolden(t *testing.T) {
 	runGolden(t, "timefix", []*Analyzer{TimeUnits})
 }

@@ -76,7 +76,11 @@ func (tb *TokenBucket) Admit(a Arrival, depth, cap int) bool {
 	return true
 }
 
-// DropReason classifies a rejected arrival.
+// DropReason classifies a rejected arrival. Every dropped attempt is
+// counted under exactly one reason — deadline expiry and breaker
+// rejection are distinct reasons, never lumped into tail-drop — so the
+// report's accounting identity attempts == completed + Σ drops holds
+// per tenant.
 type DropReason int
 
 const (
@@ -84,4 +88,33 @@ const (
 	DropPolicy DropReason = iota
 	// DropQueueFull: the tenant's bounded FIFO was at capacity.
 	DropQueueFull
+	// DropDeadline: the query expired in queue past its tenant's SLO
+	// deadline before a dispatch group picked it up.
+	DropDeadline
+	// DropShed: the overload-control shedding policy rejected the
+	// arrival under queue pressure.
+	DropShed
+	// DropBreaker: the tenant's circuit breaker was open (or half-open
+	// with its probe outstanding).
+	DropBreaker
+
+	numDropReasons
 )
+
+// String names the reason for reports and CLI output.
+func (r DropReason) String() string {
+	switch r {
+	case DropPolicy:
+		return "policy"
+	case DropQueueFull:
+		return "queue-full"
+	case DropDeadline:
+		return "deadline"
+	case DropShed:
+		return "shed"
+	case DropBreaker:
+		return "breaker"
+	default:
+		return "unknown"
+	}
+}

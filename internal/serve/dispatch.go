@@ -2,17 +2,22 @@ package serve
 
 import (
 	"fmt"
+	"math/rand"
 
+	"cachepart/internal/cachesim"
 	"cachepart/internal/engine"
+	"cachepart/internal/fault"
 )
 
-// dispatch: the engine.Feed gluing generator, admission and queues to
-// RunOpenLoop. The engine calls Next whenever a core group is idle at
-// virtual tick now; the feed absorbs every arrival up to now through
-// the admission policy, then hands out the next queued query under the
-// configured discipline. All state transitions key off virtual ticks
-// carried in the arrival trace, so the decision sequence is replayed
-// bit-identically for a fixed (seed, config).
+// dispatch: the engine.Feed gluing generator, admission, overload
+// control and queues to RunOpenLoop. The engine calls Next whenever a
+// core group is idle at virtual tick now; the feed absorbs every
+// arrival up to now — merging the trace with pending client retries —
+// through the breaker/shed/admission chain, expires queries whose SLO
+// deadline passed in queue, then hands out the next queued query under
+// the configured discipline. All state transitions key off virtual
+// ticks carried in the arrival trace, so the decision sequence is
+// replayed bit-identically for a fixed (seed, fault-seed, config).
 
 // Discipline selects how a free group picks among tenant queues.
 type Discipline int
@@ -61,7 +66,8 @@ func ParseDiscipline(s string) (Discipline, error) {
 	}
 }
 
-// feed implements engine.Feed over bounded per-tenant FIFOs.
+// feed implements engine.Feed (and engine.CompletionObserver) over
+// bounded per-tenant FIFOs with SLO-aware overload control.
 type feed struct {
 	seed     int64
 	tenants  []Tenant
@@ -83,17 +89,42 @@ type feed struct {
 	queues [][]Arrival
 	heads  []int
 
+	// Overload control. deadline[t] is tenant t's queueing deadline in
+	// ticks (0 = none); breakers is empty when breakers are disabled.
+	// pending holds scheduled client retries, merged with the trace in
+	// (tick, seq, attempt) order. olRng draws every overload-control
+	// jitter (retry backoff, breaker reopen) at deterministic event
+	// points inside the virtual-time loop.
+	shed        ShedPolicy
+	tracker     *polluterTracker
+	breakers    []tenantBreaker
+	deadline    []int64
+	hasDeadline bool
+	retry     Retry
+	retryBase int64
+	pending   retryHeap
+	olRng     *rand.Rand
+	plane     *fault.ServePlane
+	// capSum is Σ queue caps, the denominator of the shed-policy load.
+	capSum int
+
 	acct accounting
 }
 
 // accounting tallies the deterministic drop/queue statistics the
-// report folds in after the run.
+// report folds in after the run. The identity per tenant is
+// attempts == admitted + Σ_reason drops, and admitted == completed
+// after the drain (queues empty). arrivals counts first attempts only.
 type accounting struct {
-	arrivals   []int64
-	admitted   []int64
-	dropPolicy []int64
-	dropFull   []int64
-	peakDepth  []int
+	arrivals  []int64
+	attempts  []int64
+	admitted  []int64
+	drops     [numDropReasons][]int64
+	retries   []int64
+	abandoned []int64
+	trips     []int64
+	probes    []int64
+	peakDepth []int
 	// depthSum integrates queue depth over virtual time (Σ depth·dt);
 	// lastTick is the previous integration point.
 	depthSum []float64
@@ -101,36 +132,96 @@ type accounting struct {
 	endTick  int64
 }
 
-func newFeed(seed int64, tenants []Tenant, arrivals []Arrival, policy AdmitPolicy, disc Discipline, groups int, agingTicks int64, ticksPerSec float64) *feed {
-	n := len(tenants)
-	last := make([]int, groups)
+func newFeed(cfg *Config, m *cachesim.Machine, arrivals []Arrival, groupCores []int, agingTicks int64, policy AdmitPolicy, plane *fault.ServePlane) *feed {
+	n := len(cfg.Tenants)
+	ticksPerSec := float64(m.Ticks(1))
+	last := make([]int, len(groupCores))
 	for i := range last {
 		last[i] = -1
 	}
+	shed := cfg.Shed
+	if shed == nil {
+		shed = ShedNone{}
+	}
+	shed.Init(n, cfg.Seed)
+	frac := cfg.PolluterBandwidthFraction
+	if frac == 0 {
+		frac = DefaultPolluterBandwidthFraction
+	}
+	backoff := cfg.Retry.BackoffSeconds
+	if backoff == 0 {
+		backoff = DefaultRetryBackoffSeconds
+	}
 	f := &feed{
-		seed:       seed,
-		tenants:    tenants,
+		seed:       cfg.Seed,
+		tenants:    cfg.Tenants,
 		arrivals:   arrivals,
 		policy:     policy,
-		disc:       disc,
+		disc:       cfg.Discipline,
 		lastClass:  last,
 		agingTicks: agingTicks,
 		queues:     make([][]Arrival, n),
 		heads:      make([]int, n),
+		shed:       shed,
+		tracker:    newPolluterTracker(cfg.Tenants, groupCores, frac*m.Config().DRAMBandwidth, ticksPerSec),
+		deadline:   make([]int64, n),
+		retry:      cfg.Retry,
+		retryBase:  m.Ticks(backoff),
+		olRng:      newOverloadRng(cfg.Seed),
+		plane:      plane,
 		acct: accounting{
-			arrivals:   make([]int64, n),
-			admitted:   make([]int64, n),
-			dropPolicy: make([]int64, n),
-			dropFull:   make([]int64, n),
-			peakDepth:  make([]int, n),
-			depthSum:   make([]float64, n),
+			arrivals:  make([]int64, n),
+			attempts:  make([]int64, n),
+			admitted:  make([]int64, n),
+			retries:   make([]int64, n),
+			abandoned: make([]int64, n),
+			trips:     make([]int64, n),
+			probes:    make([]int64, n),
+			peakDepth: make([]int, n),
+			depthSum:  make([]float64, n),
 		},
+	}
+	if f.retryBase < 1 {
+		f.retryBase = 1
+	}
+	for r := range f.acct.drops {
+		f.acct.drops[r] = make([]int64, n)
+	}
+	for ti := range cfg.Tenants {
+		t := &cfg.Tenants[ti]
+		f.capSum += t.queueCap()
+		if t.SLO.DeadlineSeconds > 0 {
+			f.deadline[ti] = m.Ticks(t.SLO.DeadlineSeconds)
+			f.hasDeadline = true
+		}
+	}
+	if cfg.Breaker.enabled() {
+		f.breakers = make([]tenantBreaker, n)
+		for ti := range cfg.Tenants {
+			var target int64
+			if s := cfg.Tenants[ti].SLO.TargetP99Seconds; s > 0 {
+				target = m.Ticks(s)
+			}
+			f.breakers[ti] = newTenantBreaker(cfg.Breaker, target, ticksPerSec)
+		}
 	}
 	f.policy.Init(n, ticksPerSec)
 	return f
 }
 
 func (f *feed) depth(tenant int) int { return len(f.queues[tenant]) - f.heads[tenant] }
+
+// load is the aggregate queue fill fraction the shed policies key off.
+func (f *feed) load() float64 {
+	d := 0
+	for t := range f.queues {
+		d += f.depth(t)
+	}
+	return float64(d) / float64(f.capSum)
+}
+
+// jitter draws the seeded backoff scale factor in [0.5, 1.5).
+func (f *feed) jitter() float64 { return 0.5 + f.olRng.Float64() }
 
 // integrate advances the depth integrals to tick. Next is called with
 // non-decreasing now and arrivals are absorbed in trace order, so tick
@@ -147,28 +238,144 @@ func (f *feed) integrate(tick int64) {
 	}
 }
 
-// absorb runs admission for every arrival at or before now, in trace
-// order.
+// drop records one rejected attempt under its reason, resolves a
+// half-open probe that died before completing, and — when the client
+// retry model allows — schedules the re-arrival at `at` plus seeded
+// exponential backoff. A query whose final attempt drops is abandoned.
+func (f *feed) drop(a Arrival, reason DropReason, at int64) {
+	t := a.Tenant
+	f.acct.drops[reason][t]++
+	if len(f.breakers) > 0 {
+		f.breakers[t].probeDropped(a.Seq, at, f.jitter)
+	}
+	if f.retry.enabled() && a.Attempt+1 < f.retry.MaxAttempts && f.withinBudget(t) {
+		backoff := float64(f.retryBase<<uint(a.Attempt)) * f.jitter()
+		r := a
+		r.Attempt++
+		r.Tick = at + int64(backoff)
+		f.pending.push(r)
+		f.acct.retries[t]++
+		return
+	}
+	f.acct.abandoned[t]++
+}
+
+// withinBudget checks the tenant's client retry budget: cumulative
+// retries stay under BudgetFraction of cumulative first arrivals.
+func (f *feed) withinBudget(t int) bool {
+	if f.retry.BudgetFraction == 0 {
+		return true
+	}
+	return float64(f.acct.retries[t]+1) <= f.retry.BudgetFraction*float64(f.acct.arrivals[t])
+}
+
+// nextArrival peeks the earliest unabsorbed arrival across the trace
+// cursor and the retry heap, preferring the (tick, seq, attempt) order.
+func (f *feed) nextArrival() (Arrival, bool) {
+	haveTrace := f.cursor < len(f.arrivals)
+	havePending := len(f.pending) > 0
+	switch {
+	case haveTrace && havePending:
+		if retryLess(f.pending[0], f.arrivals[f.cursor]) {
+			return f.pending[0], true
+		}
+		return f.arrivals[f.cursor], true
+	case haveTrace:
+		return f.arrivals[f.cursor], true
+	case havePending:
+		return f.pending[0], true
+	default:
+		return Arrival{}, false
+	}
+}
+
+// absorb runs the admission chain for every arrival (trace or retry)
+// at or before now, in (tick, seq, attempt) order: breaker → shed →
+// policy → bounded queue. A half-open probe bypasses shedding — the
+// breaker's contract is that exactly one probe reaches the queue.
 func (f *feed) absorb(now int64) {
-	for f.cursor < len(f.arrivals) && f.arrivals[f.cursor].Tick <= now {
-		a := f.arrivals[f.cursor]
-		f.cursor++
+	for {
+		a, ok := f.nextArrival()
+		if !ok || a.Tick > now {
+			return
+		}
+		if a.Attempt == 0 {
+			f.cursor++
+		} else {
+			f.pending.pop()
+		}
 		f.integrate(a.Tick)
-		f.acct.arrivals[a.Tenant]++
-		d := f.depth(a.Tenant)
-		qcap := f.tenants[a.Tenant].queueCap()
+		t := a.Tenant
+		f.acct.attempts[t]++
+		if a.Attempt == 0 {
+			f.acct.arrivals[t]++
+		}
+		probe := false
+		if len(f.breakers) > 0 {
+			bk := &f.breakers[t]
+			trips, probes := bk.trips, bk.probes
+			admit, isProbe := bk.admit(a)
+			f.acct.trips[t] += bk.trips - trips
+			f.acct.probes[t] += bk.probes - probes
+			if !admit {
+				f.drop(a, DropBreaker, a.Tick)
+				continue
+			}
+			probe = isProbe
+		}
+		if !probe && f.shed.Shed(a, f.load(), f.tracker.polluter(t, a.Kind)) {
+			f.drop(a, DropShed, a.Tick)
+			continue
+		}
+		d := f.depth(t)
+		qcap := f.tenants[t].queueCap()
 		switch {
 		case !f.policy.Admit(a, d, qcap):
-			f.acct.dropPolicy[a.Tenant]++
+			f.drop(a, DropPolicy, a.Tick)
 		case d >= qcap:
-			f.acct.dropFull[a.Tenant]++
+			f.drop(a, DropQueueFull, a.Tick)
 		default:
-			f.acct.admitted[a.Tenant]++
-			f.queues[a.Tenant] = append(f.queues[a.Tenant], a)
-			if d+1 > f.acct.peakDepth[a.Tenant] {
-				f.acct.peakDepth[a.Tenant] = d + 1
+			f.acct.admitted[t]++
+			f.queues[t] = append(f.queues[t], a)
+			if d+1 > f.acct.peakDepth[t] {
+				f.acct.peakDepth[t] = d + 1
 			}
 		}
+	}
+}
+
+// expire drops queued queries whose deadline passed by now. Queues are
+// FIFO in arrival-tick order and a tenant's deadline is constant, so
+// only heads can be expired; the drop is stamped at the expiry tick,
+// which also anchors the client's retry backoff.
+func (f *feed) expire(now int64) {
+	if !f.hasDeadline {
+		return
+	}
+	f.integrate(now)
+	for t := range f.queues {
+		dl := f.deadline[t]
+		if dl == 0 {
+			continue
+		}
+		for f.depth(t) > 0 {
+			a := f.queues[t][f.heads[t]]
+			exp := a.Tick + dl
+			if exp > now {
+				break
+			}
+			f.popHead(t)
+			f.drop(a, DropDeadline, exp)
+		}
+	}
+}
+
+// popHead removes tenant t's queue head.
+func (f *feed) popHead(t int) {
+	f.heads[t]++
+	if f.heads[t] == len(f.queues[t]) {
+		f.queues[t] = f.queues[t][:0]
+		f.heads[t] = 0
 	}
 }
 
@@ -232,21 +439,32 @@ func (f *feed) pick(group int, now int64) int {
 
 // Next implements engine.Feed.
 func (f *feed) Next(group int, now int64) (engine.Submission, bool, int64) {
-	f.absorb(now)
+	// Dispatcher-stall chaos: a stalled group parks until the window
+	// ends; arrivals keep queueing (and expiring) against the clock.
+	if end := f.plane.StallUntil(group, now); end > now {
+		return engine.Submission{}, false, end
+	}
+	// Expiry can schedule a retry already due at now (a short backoff
+	// after an old deadline), so loop until no arrival at or before now
+	// remains; attempts are bounded, so the loop terminates.
+	for {
+		f.absorb(now)
+		f.expire(now)
+		if a, ok := f.nextArrival(); !ok || a.Tick > now {
+			break
+		}
+	}
 	t := f.pick(group, now)
 	if t < 0 {
-		if f.cursor < len(f.arrivals) {
-			return engine.Submission{}, false, f.arrivals[f.cursor].Tick
+		wake := int64(-1)
+		if a, ok := f.nextArrival(); ok {
+			wake = a.Tick
 		}
-		return engine.Submission{}, false, -1
+		return engine.Submission{}, false, wake
 	}
 	f.integrate(now)
 	a := f.queues[t][f.heads[t]]
-	f.heads[t]++
-	if f.heads[t] == len(f.queues[t]) {
-		f.queues[t] = f.queues[t][:0]
-		f.heads[t] = 0
-	}
+	f.popHead(t)
 	w := &f.tenants[a.Tenant].Mix[a.Kind]
 	f.lastClass[group] = w.Class
 	return engine.Submission{
@@ -255,6 +473,22 @@ func (f *feed) Next(group int, now int64) (engine.Submission, bool, int64) {
 		Release: a.Tick,
 		Tag:     a.Seq,
 	}, true, 0
+}
+
+// Observe implements engine.CompletionObserver: completion telemetry
+// feeds the polluter classifier and the tenant's circuit breaker, in
+// the engine's deterministic completion order on the coordinator.
+func (f *feed) Observe(c engine.Completion) {
+	first := f.arrivals[c.Tag]
+	f.tracker.observe(first.Tenant, first.Kind, c)
+	if len(f.breakers) > 0 {
+		bk := &f.breakers[first.Tenant]
+		trips := bk.trips
+		// Client latency spans from the first arrival, so backoff spent
+		// retrying counts against the SLO.
+		bk.observe(c.Tag, c.Done-first.Tick, c.Done, f.jitter)
+		f.acct.trips[first.Tenant] += bk.trips - trips
+	}
 }
 
 // leftover reports queries still queued when the run drains — with
@@ -268,7 +502,10 @@ func (f *feed) leftover() int {
 	return n
 }
 
-var _ engine.Feed = (*feed)(nil)
+var (
+	_ engine.Feed               = (*feed)(nil)
+	_ engine.CompletionObserver = (*feed)(nil)
+)
 
 // checkDrained asserts the drain invariant after a run.
 func (f *feed) checkDrained() error {
@@ -277,6 +514,9 @@ func (f *feed) checkDrained() error {
 	}
 	if f.cursor != len(f.arrivals) {
 		return fmt.Errorf("serve: %d arrivals never absorbed", len(f.arrivals)-f.cursor)
+	}
+	if len(f.pending) != 0 {
+		return fmt.Errorf("serve: %d retries never absorbed", len(f.pending))
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"cachepart/internal/cachesim"
+	"cachepart/internal/fault"
 )
 
 // gen: the seeded open-loop workload generator.
@@ -68,16 +69,43 @@ type Arrival struct {
 	// Tenant and Kind index Config.Tenants and the tenant's Mix.
 	Tenant int
 	Kind   int
+	// Attempt is the client's try count for this query: 0 for the
+	// original arrival, k for its k-th retry. Retries reuse the original
+	// Seq (they are the same query), so (Seq, Attempt) is unique.
+	Attempt int
 }
 
 // maxArrivals caps one run's generated trace; a misconfigured rate at
 // a long horizon fails loudly instead of allocating without bound.
 const maxArrivals = 1 << 22
 
+// burstRngSalt keys each tenant's burst-arrival rng. Burst arrivals
+// come from a stream separate from the tenant's base rng so the base
+// trace is bit-identical with and without serving-plane faults.
+const burstRngSalt = 3571
+
 // GenArrivals generates the merged arrival trace of all tenants over
 // [0, cfg.Horizon) seconds, sorted by (tick, tenant, per-tenant
-// order). The machine only supplies the seconds→ticks conversion.
+// order), including any burst arrivals injected by cfg.Faults. The
+// machine only supplies the seconds→ticks conversion.
 func GenArrivals(m *cachesim.Machine, cfg Config) ([]Arrival, error) {
+	var plane *fault.ServePlane
+	if cfg.Faults != nil {
+		// Burst windows are drawn before stall windows, so a plane built
+		// with zero groups yields the identical burst schedule Run's full
+		// plane does.
+		var err error
+		plane, err = fault.NewServePlane(*cfg.Faults, cfg.Horizon, len(cfg.Tenants), 0, float64(m.Ticks(1)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return genArrivals(m, cfg, plane)
+}
+
+// genArrivals generates the trace against an already-built chaos plane
+// (nil for none).
+func genArrivals(m *cachesim.Machine, cfg Config, plane *fault.ServePlane) ([]Arrival, error) {
 	var all []Arrival
 	for ti := range cfg.Tenants {
 		t := &cfg.Tenants[ti]
@@ -90,6 +118,22 @@ func GenArrivals(m *cachesim.Machine, cfg Config) ([]Arrival, error) {
 		for _, sec := range times {
 			kind := pickKind(rng, weights, total)
 			all = append(all, Arrival{Tick: m.Ticks(sec), Tenant: ti, Kind: kind})
+		}
+		// Burst superposition: inside each window the tenant gains an
+		// extra Poisson stream at (Factor-1)× its base rate, drawn from a
+		// separate seeded rng so the base sequence above is untouched.
+		if bursts := plane.Bursts(ti); len(bursts) > 0 && t.Process.Rate > 0 {
+			brng := rand.New(rand.NewSource(cfg.Seed ^ int64(ti+1)*burstRngSalt))
+			for _, b := range bursts {
+				extra := (b.Factor - 1) * t.Process.Rate
+				if extra <= 0 {
+					continue
+				}
+				for sec := b.Start + brng.ExpFloat64()/extra; sec < b.End && sec < cfg.Horizon; sec += brng.ExpFloat64() / extra {
+					kind := pickKind(brng, weights, total)
+					all = append(all, Arrival{Tick: m.Ticks(sec), Tenant: ti, Kind: kind})
+				}
+			}
 		}
 		if len(all) > maxArrivals {
 			return nil, fmt.Errorf("serve: more than %d arrivals; lower the rate or horizon", maxArrivals)

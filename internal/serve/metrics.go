@@ -9,25 +9,53 @@ import (
 // metrics: post-processes engine Completions plus the feed's admission
 // accounting into the serving report. Everything is in virtual ticks;
 // rates use the machine's tick rate so "QPS" means queries per
-// simulated second.
+// simulated second. Latency is client-visible: completion tick minus
+// the query's FIRST arrival tick, so time a client spent backing off
+// between retry attempts counts against the SLO.
 
 // TenantReport is one tenant's slice of the serving report.
 type TenantReport struct {
-	Name     string
+	Name string
+	// Arrivals counts first attempts (the offered load); Attempts adds
+	// client retries. The accounting identity is Attempts == Completed
+	// + Dropped.
 	Arrivals int64
+	Attempts int64
 	Admitted int64
-	// DropPolicy counts admission-policy rejections, DropQueue bounded-
-	// FIFO overflows; Dropped is their sum.
-	Dropped    int64
-	DropPolicy int64
-	DropQueue  int64
-	Completed  int64
+	// Dropped sums the per-reason attempt drops below: admission-policy
+	// rejections, bounded-FIFO overflows, queueing-deadline expiries,
+	// deliberate overload shedding, and circuit-breaker rejections.
+	Dropped      int64
+	DropPolicy   int64
+	DropQueue    int64
+	DropDeadline int64
+	DropShed     int64
+	DropBreaker  int64
+	// Retries counts re-arrivals the client retry model scheduled;
+	// Abandoned counts queries lost for good (final attempt dropped).
+	Retries   int64
+	Abandoned int64
+	// BreakerTrips counts open transitions of the tenant's circuit
+	// breaker; Probes its half-open probe admissions.
+	BreakerTrips int64
+	Probes       int64
+	Completed    int64
+	// Good counts completions within the tenant's TargetP99Seconds
+	// (all completions when no target is set); GoodQPS is goodput per
+	// simulated second and SLOAttainment is Good over Arrivals — a
+	// query abandoned by overload control counts against the SLO.
+	Good          int64
+	GoodQPS       float64
+	SLOAttainment float64
+	// Polluter is the classifier's final verdict: true when any of the
+	// tenant's workload kinds ended the run classified as LLC-polluting.
+	Polluter bool
 	// QPS is completed queries per simulated second of the arrival
 	// horizon.
 	QPS float64
-	// Latency percentiles and means are end-to-end (arrival to
-	// completion) in virtual ticks; Wait is queueing delay, Service
-	// execution time.
+	// Latency percentiles and means are client-visible (first arrival
+	// to completion) in virtual ticks; Wait is the final attempt's
+	// queueing delay, Service its execution time.
 	P50         int64
 	P99         int64
 	P999        int64
@@ -51,10 +79,17 @@ type Report struct {
 	// drains past the arrival horizon).
 	EndTick   int64
 	Arrivals  int64
+	Attempts  int64
 	Admitted  int64
 	Dropped   int64
+	Retries   int64
+	Abandoned int64
 	Completed int64
+	Good      int64
 	QPS       float64
+	GoodQPS   float64
+	// SLOAttainment is aggregate Good over aggregate Arrivals.
+	SLOAttainment float64
 	// Aggregate latency percentiles over all completions, in ticks.
 	P50         int64
 	P99         int64
@@ -113,16 +148,29 @@ func buildReport(cfg *Config, horizonTicks int64, ticksPerSec float64, f *feed, 
 	}
 	horizonSec := float64(horizonTicks) / ticksPerSec
 
+	targetTicks := make([]int64, len(cfg.Tenants))
+	for ti := range cfg.Tenants {
+		if s := cfg.Tenants[ti].SLO.TargetP99Seconds; s > 0 {
+			targetTicks[ti] = int64(s * ticksPerSec)
+		}
+	}
+
 	perTenant := make([][]int64, len(cfg.Tenants))
 	var all []int64
 	sumWait := make([]float64, len(cfg.Tenants))
 	sumSvc := make([]float64, len(cfg.Tenants))
+	good := make([]int64, len(cfg.Tenants))
 	for _, c := range res.Completions {
-		t := f.arrivals[c.Tag].Tenant
-		perTenant[t] = append(perTenant[t], c.Latency())
-		all = append(all, c.Latency())
+		first := f.arrivals[c.Tag]
+		t := first.Tenant
+		lat := c.Done - first.Tick
+		perTenant[t] = append(perTenant[t], lat)
+		all = append(all, lat)
 		sumWait[t] += float64(c.Wait())
 		sumSvc[t] += float64(c.Service())
+		if targetTicks[t] == 0 || lat <= targetTicks[t] {
+			good[t]++
+		}
 		if c.Done > r.EndTick {
 			r.EndTick = c.Done
 		}
@@ -136,12 +184,30 @@ func buildReport(cfg *Config, horizonTicks int64, ticksPerSec float64, f *feed, 
 		tr := &r.Tenants[ti]
 		tr.Name = t.Name
 		tr.Arrivals = f.acct.arrivals[ti]
+		tr.Attempts = f.acct.attempts[ti]
 		tr.Admitted = f.acct.admitted[ti]
-		tr.DropPolicy = f.acct.dropPolicy[ti]
-		tr.DropQueue = f.acct.dropFull[ti]
-		tr.Dropped = tr.DropPolicy + tr.DropQueue
+		tr.DropPolicy = f.acct.drops[DropPolicy][ti]
+		tr.DropQueue = f.acct.drops[DropQueueFull][ti]
+		tr.DropDeadline = f.acct.drops[DropDeadline][ti]
+		tr.DropShed = f.acct.drops[DropShed][ti]
+		tr.DropBreaker = f.acct.drops[DropBreaker][ti]
+		tr.Dropped = tr.DropPolicy + tr.DropQueue + tr.DropDeadline + tr.DropShed + tr.DropBreaker
+		tr.Retries = f.acct.retries[ti]
+		tr.Abandoned = f.acct.abandoned[ti]
+		tr.BreakerTrips = f.acct.trips[ti]
+		tr.Probes = f.acct.probes[ti]
 		tr.Completed = int64(len(lat))
+		tr.Good = good[ti]
 		tr.QPS = float64(tr.Completed) / horizonSec
+		tr.GoodQPS = float64(tr.Good) / horizonSec
+		if tr.Arrivals > 0 {
+			tr.SLOAttainment = float64(tr.Good) / float64(tr.Arrivals)
+		}
+		for ki := range t.Mix {
+			if f.tracker.polluter(ti, ki) {
+				tr.Polluter = true
+			}
+		}
 		tr.P50 = percentile(lat, 0.50)
 		tr.P99 = percentile(lat, 0.99)
 		tr.P999 = percentile(lat, 0.999)
@@ -162,9 +228,13 @@ func buildReport(cfg *Config, horizonTicks int64, ticksPerSec float64, f *feed, 
 			tr.MeanDepth = f.acct.depthSum[ti] / float64(end)
 		}
 		r.Arrivals += tr.Arrivals
+		r.Attempts += tr.Attempts
 		r.Admitted += tr.Admitted
 		r.Dropped += tr.Dropped
+		r.Retries += tr.Retries
+		r.Abandoned += tr.Abandoned
 		r.Completed += tr.Completed
+		r.Good += tr.Good
 		if tr.Slowdown > 0 {
 			fair = append(fair, tr.Slowdown)
 		} else if tr.MeanLatency > 0 {
@@ -184,6 +254,10 @@ func buildReport(cfg *Config, horizonTicks int64, ticksPerSec float64, f *feed, 
 		r.MeanLatency = sum / n
 	}
 	r.QPS = float64(r.Completed) / horizonSec
+	r.GoodQPS = float64(r.Good) / horizonSec
+	if r.Arrivals > 0 {
+		r.SLOAttainment = float64(r.Good) / float64(r.Arrivals)
+	}
 	r.Jain = jain(fair)
 	return r
 }

@@ -1,0 +1,372 @@
+package serve
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cachepart/internal/core"
+	"cachepart/internal/engine"
+	"cachepart/internal/exec"
+	"cachepart/internal/fault"
+	"cachepart/internal/memory"
+)
+
+// scanKernel streams line-strided reads over a shared region — the
+// serving-test stand-in for the paper's polluting scan.
+type scanKernel struct {
+	region memory.Region
+	off    uint64
+	rows   int
+}
+
+func (k *scanKernel) Step(ctx *exec.Ctx, budget int) (int, bool) {
+	n := budget
+	if n > k.rows {
+		n = k.rows
+	}
+	for i := 0; i < n; i++ {
+		ctx.Read(k.region.Addr(k.off))
+		k.off += memory.LineSize
+		if k.off >= k.region.Size {
+			k.off = 0
+		}
+	}
+	k.rows -= n
+	return n, k.rows == 0
+}
+
+// streamQuery scans a region larger than the LLC, so its per-core DRAM
+// rate classifies it as a polluter.
+type streamQuery struct {
+	name     string
+	region   memory.Region
+	meanRows float64
+}
+
+func (q *streamQuery) Name() string { return q.name }
+
+func (q *streamQuery) Plan(cores int, rng *rand.Rand) ([]engine.Phase, error) {
+	rows := int(rng.ExpFloat64() * q.meanRows)
+	if rows < 1 {
+		rows = 1
+	}
+	// Each execution scans a random window, so successive queries touch
+	// fresh lines and the stream stays DRAM-bound instead of re-reading
+	// a cached stretch.
+	lines := q.region.Size / memory.LineSize
+	start := uint64(rng.Int63n(int64(lines))) * memory.LineSize
+	parts := engine.PartitionRows(rows, cores)
+	ks := make([]exec.Kernel, 0, len(parts))
+	for _, p := range parts {
+		off := (start + uint64(p[0])*memory.LineSize) % q.region.Size
+		ks = append(ks, &scanKernel{region: q.region, off: off, rows: p[1] - p[0]})
+	}
+	return []engine.Phase{{Name: "stream", CUID: core.Polluting, Kernels: ks, CountRows: true}}, nil
+}
+
+// overloadConfig is a two-tenant victim/polluter setup driven past the
+// two-group capacity, with SLOs tight enough that overload control has
+// work to do. mult scales both tenants' offered load.
+func overloadConfig(e *engine.Engine, seed int64, groups int, mult float64) Config {
+	llc := e.Machine().Config().LLC.Size
+	sp := memory.NewSpace()
+	region := sp.Alloc("stream", uint64(4*llc))
+	return Config{
+		Seed:    seed,
+		Horizon: 2e-5,
+		Tenants: []Tenant{
+			{
+				Name:    "victim",
+				Process: Process{Kind: ProcPoisson, Rate: 2e6 * mult},
+				Mix: []Workload{{Name: "point", Weight: 1, Class: int(core.Sensitive),
+					Instances: alias(&expQuery{name: "point", meanRows: 60}, groups)}},
+				QueueCap: 16,
+				SLO:      SLO{DeadlineSeconds: 4e-6, TargetP99Seconds: 3e-6},
+			},
+			{
+				Name:    "polluter",
+				Process: Process{Kind: ProcPoisson, Rate: 1.5e6 * mult},
+				Mix: []Workload{{Name: "stream", Weight: 1, Class: int(core.Polluting),
+					Instances: alias(&streamQuery{name: "stream", region: region, meanRows: 300}, groups)}},
+				QueueCap: 16,
+				SLO:      SLO{DeadlineSeconds: 8e-6, TargetP99Seconds: 6e-6},
+			},
+		},
+	}
+}
+
+// checkAccounting asserts the per-tenant attempt identities:
+// attempts == arrivals + retries and attempts == completed + Σ drops.
+func checkAccounting(t *testing.T, rep *Report) {
+	t.Helper()
+	for _, tr := range rep.Tenants {
+		if tr.Attempts != tr.Arrivals+tr.Retries {
+			t.Errorf("tenant %s: attempts %d != arrivals %d + retries %d",
+				tr.Name, tr.Attempts, tr.Arrivals, tr.Retries)
+		}
+		drops := tr.DropPolicy + tr.DropQueue + tr.DropDeadline + tr.DropShed + tr.DropBreaker
+		if tr.Dropped != drops {
+			t.Errorf("tenant %s: Dropped %d != per-reason sum %d", tr.Name, tr.Dropped, drops)
+		}
+		if tr.Attempts != tr.Completed+tr.Dropped {
+			t.Errorf("tenant %s: attempts %d != completed %d + dropped %d",
+				tr.Name, tr.Attempts, tr.Completed, tr.Dropped)
+		}
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	bk := newTenantBreaker(Breaker{Window: 4, TripFraction: 0.5, BackoffSeconds: 1e-6}, 100, 1e9)
+	jit := func() float64 { return 1.0 }
+	arrival := func(seq, tick int64) Arrival { return Arrival{Seq: seq, Tick: tick} }
+
+	// Trip: fill the window with violations.
+	for i := int64(0); i < 4; i++ {
+		bk.observe(i, 500, 1000+i, jit)
+	}
+	if bk.state != bkOpen {
+		t.Fatalf("breaker not open after sustained violation (state %d)", bk.state)
+	}
+	if bk.trips != 1 {
+		t.Fatalf("trips = %d, want 1", bk.trips)
+	}
+	// Open: arrivals before openUntil are rejected.
+	if ok, _ := bk.admit(arrival(10, bk.openUntil-1)); ok {
+		t.Fatal("open breaker admitted an arrival before the backoff elapsed")
+	}
+	// Half-open: the first arrival past the backoff is the probe —
+	// and exactly one is admitted until it resolves.
+	ok, probe := bk.admit(arrival(11, bk.openUntil))
+	if !ok || !probe {
+		t.Fatalf("arrival past backoff: admit=%v probe=%v, want true/true", ok, probe)
+	}
+	if bk.probes != 1 {
+		t.Fatalf("probes = %d, want 1", bk.probes)
+	}
+	for seq := int64(12); seq < 15; seq++ {
+		if ok, _ := bk.admit(arrival(seq, bk.openUntil+seq)); ok {
+			t.Fatalf("half-open breaker admitted a second query (seq %d)", seq)
+		}
+	}
+	// Probe violates → reopen with doubled backoff.
+	prevBackoff := bk.backoffTicks
+	bk.observe(11, 500, 5000, jit)
+	if bk.state != bkOpen {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	if bk.backoffTicks != 2*prevBackoff {
+		t.Fatalf("backoff %d after failed probe, want doubled %d", bk.backoffTicks, 2*prevBackoff)
+	}
+	// Next probe succeeds → closed, backoff reset.
+	ok, probe = bk.admit(arrival(20, bk.openUntil))
+	if !ok || !probe {
+		t.Fatal("second probe not admitted")
+	}
+	bk.observe(20, 50, bk.openUntil+60, jit)
+	if bk.state != bkClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if bk.backoffTicks != bk.baseTicks {
+		t.Fatalf("backoff %d after close, want base %d", bk.backoffTicks, bk.baseTicks)
+	}
+	// A dropped probe also reopens.
+	for i := int64(30); i < 34; i++ {
+		bk.observe(i, 500, 6000+i, jit)
+	}
+	ok, _ = bk.admit(arrival(40, bk.openUntil))
+	if !ok {
+		t.Fatal("third probe not admitted")
+	}
+	bk.probeDropped(40, bk.openUntil+10, jit)
+	if bk.state != bkOpen {
+		t.Fatal("dropped probe did not reopen the breaker")
+	}
+}
+
+func TestDeadlineExpiryAccounting(t *testing.T) {
+	e := testEngine(t)
+	cfg := overloadConfig(e, 3, 2, 3.0)
+	rep, err := Run(e, [][]int{{0, 1}, {2, 3}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAccounting(t, rep)
+	var deadline int64
+	for _, tr := range rep.Tenants {
+		deadline += tr.DropDeadline
+	}
+	if deadline == 0 {
+		t.Error("3x overload with tight deadlines produced no deadline drops")
+	}
+	if rep.Completed == 0 {
+		t.Error("no completions")
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	e := testEngine(t)
+	cfg := overloadConfig(e, 5, 2, 3.0)
+	cfg.Retry = Retry{MaxAttempts: 4, BackoffSeconds: 1e-6, BudgetFraction: 0.2}
+	rep, err := Run(e, [][]int{{0, 1}, {2, 3}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAccounting(t, rep)
+	if rep.Retries == 0 {
+		t.Fatal("overloaded run with retries enabled scheduled none")
+	}
+	for _, tr := range rep.Tenants {
+		if budget := int64(0.2 * float64(tr.Arrivals)); tr.Retries > budget {
+			t.Errorf("tenant %s: %d retries exceed budget %d (arrivals %d)",
+				tr.Name, tr.Retries, budget, tr.Arrivals)
+		}
+	}
+	if rep.Abandoned == 0 {
+		t.Error("budgeted retries under sustained overload abandoned nothing")
+	}
+}
+
+func TestShedPolicies(t *testing.T) {
+	e := testEngine(t)
+	groups := [][]int{{0, 1}, {2, 3}}
+
+	base := overloadConfig(e, 7, 2, 3.0)
+	rep, err := Run(e, groups, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rep.Tenants[0].DropShed + rep.Tenants[1].DropShed; n != 0 {
+		t.Fatalf("ShedNone shed %d queries", n)
+	}
+	if !rep.Tenants[1].Polluter {
+		t.Fatal("streaming tenant not classified as polluter")
+	}
+	if rep.Tenants[0].Polluter {
+		t.Fatal("compute tenant classified as polluter")
+	}
+
+	fair := overloadConfig(e, 7, 2, 3.0)
+	fair.Shed = &ShedFair{}
+	frep, err := Run(e, groups, fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAccounting(t, frep)
+	if frep.Tenants[0].DropShed+frep.Tenants[1].DropShed == 0 {
+		t.Error("fair shedding under 3x overload shed nothing")
+	}
+
+	pol := overloadConfig(e, 7, 2, 3.0)
+	pol.Shed = &ShedPolluter{}
+	prep, err := Run(e, groups, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAccounting(t, prep)
+	if prep.Tenants[1].DropShed == 0 {
+		t.Error("polluter-first shedding dropped no polluter queries")
+	}
+	// The polluting tenant must absorb disproportionally more of the
+	// shed than the victim.
+	if prep.Tenants[0].DropShed >= prep.Tenants[1].DropShed {
+		t.Errorf("victim shed %d >= polluter shed %d under polluter-first",
+			prep.Tenants[0].DropShed, prep.Tenants[1].DropShed)
+	}
+}
+
+// fullOverloadConfig layers every overload-control mechanism plus
+// serving-plane chaos on the victim/polluter setup.
+func fullOverloadConfig(e *engine.Engine, seed int64, groups int) Config {
+	cfg := overloadConfig(e, seed, groups, 3.0)
+	cfg.Shed = &ShedPolluter{}
+	cfg.Retry = Retry{MaxAttempts: 3, BackoffSeconds: 1e-6, BudgetFraction: 0.3}
+	cfg.Breaker = Breaker{Window: 16, TripFraction: 0.5, BackoffSeconds: 2e-6}
+	cfg.Faults = &fault.ServeConfig{Seed: seed * 31, Bursts: 1, BurstFactor: 3, Stalls: 1}
+	return cfg
+}
+
+func TestOverloadBitIdentity(t *testing.T) {
+	for _, seed := range []int64{2, 11, 23} {
+		e := testEngine(t)
+		a, err := Run(e, [][]int{{0, 1}, {2, 3}}, fullOverloadConfig(e, seed, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(e, [][]int{{0, 1}, {2, 3}}, fullOverloadConfig(e, seed, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("seed %d: identical overload configs produced different reports", seed)
+		}
+		checkAccounting(t, a)
+	}
+	e := testEngine(t)
+	a, _ := Run(e, [][]int{{0, 1}, {2, 3}}, fullOverloadConfig(e, 2, 2))
+	b, _ := Run(e, [][]int{{0, 1}, {2, 3}}, fullOverloadConfig(e, 3, 2))
+	if reflect.DeepEqual(a, b) {
+		t.Error("different seeds produced identical overload reports")
+	}
+}
+
+func TestOverloadWorkerInvariance(t *testing.T) {
+	var want *Report
+	for _, workers := range []int{1, 4} {
+		e := testEngine(t)
+		cfg := fullOverloadConfig(e, 13, 2)
+		cfg.Parallel = true
+		cfg.Workers = workers
+		cfg.EpochTicks = 1 << 12
+		rep, err := Run(e, [][]int{{0, 1}, {2, 3}}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = rep
+			continue
+		}
+		if !reflect.DeepEqual(want, rep) {
+			t.Errorf("workers=%d: overload report differs from workers=1", workers)
+		}
+	}
+}
+
+func TestBurstFaultSuperposition(t *testing.T) {
+	m := testEngine(t).Machine()
+	cfg := overloadConfig(testEngine(t), 9, 2, 1.0)
+	base, err := GenArrivals(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stalls alone leave the trace untouched.
+	cfg.Faults = &fault.ServeConfig{Seed: 77, Stalls: 2}
+	stalled, err := GenArrivals(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, stalled) {
+		t.Error("stall-only faults changed the arrival trace")
+	}
+
+	// Bursts inject extra arrivals without disturbing the base stream:
+	// the base trace is a subsequence of the burst trace.
+	cfg.Faults = &fault.ServeConfig{Seed: 77, Bursts: 2, BurstFactor: 4}
+	burst, err := GenArrivals(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(burst) <= len(base) {
+		t.Fatalf("burst trace has %d arrivals, base %d — no surge injected", len(burst), len(base))
+	}
+	i := 0
+	for _, a := range burst {
+		if i < len(base) && a.Tick == base[i].Tick && a.Tenant == base[i].Tenant && a.Kind == base[i].Kind {
+			i++
+		}
+	}
+	if i != len(base) {
+		t.Errorf("base trace is not a subsequence of the burst trace (%d/%d matched)", i, len(base))
+	}
+}

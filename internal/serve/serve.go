@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"cachepart/internal/engine"
+	"cachepart/internal/fault"
 )
 
 // DefaultAgingSeconds is the DiscCLOS starvation bound when
@@ -46,6 +47,22 @@ type Config struct {
 	// oldest query for class affinity; 0 uses DefaultAgingSeconds.
 	AgingSeconds float64
 
+	// Overload control (DESIGN.md §15). All four knobs default to off:
+	// a zero-valued configuration reproduces the PR-7 behaviour bit for
+	// bit. Shed is the load-shedding policy (nil means ShedNone); Retry
+	// the client retry model; Breaker the per-tenant circuit breakers.
+	Shed    ShedPolicy
+	Retry   Retry
+	Breaker Breaker
+	// PolluterBandwidthFraction classifies a (tenant, workload) as an
+	// LLC polluter when its per-core DRAM rate sustains this fraction
+	// of the machine's aggregate bandwidth; 0 uses
+	// DefaultPolluterBandwidthFraction.
+	PolluterBandwidthFraction float64
+	// Faults enables serving-plane chaos: seeded arrival bursts and
+	// dispatcher stalls (see fault.ServeConfig). nil injects nothing.
+	Faults *fault.ServeConfig
+
 	// Engine pass-through: see engine.OpenLoopOptions.
 	Quantum          int
 	TargetSliceTicks int64
@@ -64,8 +81,23 @@ func Run(e *engine.Engine, groups [][]int, cfg Config) (*Report, error) {
 	if err := validateTenants(cfg.Tenants, len(groups)); err != nil {
 		return nil, err
 	}
+	if err := cfg.Retry.validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Breaker.validate(); err != nil {
+		return nil, err
+	}
 	m := e.Machine()
-	arrivals, err := GenArrivals(m, cfg)
+	ticksPerSec := float64(m.Ticks(1))
+	var plane *fault.ServePlane
+	if cfg.Faults != nil {
+		var err error
+		plane, err = fault.NewServePlane(*cfg.Faults, cfg.Horizon, len(cfg.Tenants), len(groups), ticksPerSec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	arrivals, err := genArrivals(m, cfg, plane)
 	if err != nil {
 		return nil, err
 	}
@@ -73,12 +105,15 @@ func Run(e *engine.Engine, groups [][]int, cfg Config) (*Report, error) {
 	if policy == nil {
 		policy = TailDrop{}
 	}
-	ticksPerSec := float64(m.Ticks(1))
 	aging := cfg.AgingSeconds
 	if aging <= 0 {
 		aging = DefaultAgingSeconds
 	}
-	f := newFeed(cfg.Seed, cfg.Tenants, arrivals, policy, cfg.Discipline, len(groups), m.Ticks(aging), ticksPerSec)
+	groupCores := make([]int, len(groups))
+	for gi, cores := range groups {
+		groupCores[gi] = len(cores)
+	}
+	f := newFeed(&cfg, m, arrivals, groupCores, m.Ticks(aging), policy, plane)
 
 	// Prewarm each workload's shared data (dictionaries, tables, space
 	// directories) once; instances of one workload alias the same

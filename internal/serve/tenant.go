@@ -16,6 +16,10 @@ type Tenant struct {
 	Mix []Workload
 	// QueueCap bounds the tenant's FIFO; 0 uses DefaultQueueCap.
 	QueueCap int
+	// SLO is the tenant's service-level objective: the queueing deadline
+	// and the tail-latency target overload control enforces. The zero
+	// value opts the tenant out of deadline expiry and breaker control.
+	SLO SLO
 	// BaselineTicks is the tenant's isolated mixture-mean service time
 	// (from calibration), the denominator of the slowdown metric; 0
 	// leaves slowdown unreported.

@@ -1,8 +1,9 @@
 #!/bin/sh
 # bench.sh — measures the epoch-parallel simulation mode (DESIGN.md
 # §11) against the serial reference, the batched access fast path
-# against the per-call loop, and one full open-loop serving sweep
-# (DESIGN.md §13), then writes the results as BENCH_7.json
+# against the per-call loop, one full open-loop serving sweep
+# (DESIGN.md §13) and one SLO-aware overload point (DESIGN.md §15),
+# then writes the results as BENCH_9.json
 # (format documented in EXPERIMENTS.md). After writing, the fresh run
 # is compared against the most recent committed BENCH_*.json and a
 # per-benchmark delta table is printed — regressions warn, they do not
@@ -19,7 +20,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_9.json}"
 cores="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
 
 echo "== go test -bench (figure co-runs, serial vs parallel)" >&2
@@ -34,7 +35,11 @@ echo "== go test -bench (open-loop serving sweep at 1.0x)" >&2
 srv="$(go test -run '^$' -bench 'BenchmarkServe$' -benchtime 2x .)"
 echo "$srv" >&2
 
-printf '%s\n%s\n%s\n' "$fig" "$acc" "$srv" | awk -v cores="$cores" '
+echo "== go test -bench (overload control at 3x rogue polluter)" >&2
+ovl="$(go test -run '^$' -bench 'BenchmarkOverload$' -benchtime 2x .)"
+echo "$ovl" >&2
+
+printf '%s\n%s\n%s\n%s\n' "$fig" "$acc" "$srv" "$ovl" | awk -v cores="$cores" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -46,15 +51,15 @@ printf '%s\n%s\n%s\n' "$fig" "$acc" "$srv" | awk -v cores="$cores" '
 }
 END {
 	printf "{\n"
-	printf "  \"bench\": \"serve — open-loop serving sweep plus the epoch-parallel and batched-access fast paths\",\n"
+	printf "  \"bench\": \"overload — SLO-aware overload control plus the serving sweep and the epoch-parallel and batched-access fast paths\",\n"
 	printf "  \"host_cores\": %d,\n", cores
 	printf "  \"ns_per_op\": {\n"
 	n = 0
 	for (k in ns) order[n++] = k
 	# Fixed emission order keeps the file diffable run to run.
-	split("BenchmarkFig9 BenchmarkFig9Parallel BenchmarkFig11 BenchmarkFig11Parallel BenchmarkSimulatorAccess BenchmarkSimulatorAccessBatch BenchmarkServe", want, " ")
+	split("BenchmarkFig9 BenchmarkFig9Parallel BenchmarkFig11 BenchmarkFig11Parallel BenchmarkSimulatorAccess BenchmarkSimulatorAccessBatch BenchmarkServe BenchmarkOverload", want, " ")
 	first = 1
-	for (i = 1; i <= 7; i++) {
+	for (i = 1; i <= 8; i++) {
 		k = want[i]
 		if (!(k in ns)) continue
 		if (!first) printf ",\n"
@@ -105,9 +110,9 @@ if [ -n "$prev" ]; then
 	BEGIN {
 		load(prevfile, old)
 		load(curfile, cur)
-		split("BenchmarkFig9 BenchmarkFig9Parallel BenchmarkFig11 BenchmarkFig11Parallel BenchmarkSimulatorAccess BenchmarkSimulatorAccessBatch BenchmarkServe", want, " ")
+		split("BenchmarkFig9 BenchmarkFig9Parallel BenchmarkFig11 BenchmarkFig11Parallel BenchmarkSimulatorAccess BenchmarkSimulatorAccessBatch BenchmarkServe BenchmarkOverload", want, " ")
 		printf "%-30s %14s %14s %9s\n", "benchmark", "prev", "cur", "delta"
-		for (i = 1; i <= 7; i++) {
+		for (i = 1; i <= 8; i++) {
 			k = want[i]
 			if (!(k in cur) || !(k in old) || old[k] == 0) continue
 			d = (cur[k] - old[k]) / old[k] * 100

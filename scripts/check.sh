@@ -4,24 +4,27 @@
 # concurrent layers. Run from anywhere inside the module; CI and
 # pre-merge reviews run exactly this.
 #
-# Usage: check.sh [lint|test|chaos|serve|all]
-#   lint   build + vet + cachelint (the CI lint job)
-#   test   build + unit tests + race detector (the CI test job)
-#   chaos  build + fault-injection/robustness tests under the race
-#          detector (the CI chaos job)
-#   serve  build + open-loop serving tier: queueing-theory sanity,
-#          multi-seed bit-identity, worker invariance, chaos interop
-#          and the FigServe acceptance sweep (the CI serve job)
-#   all    every gate, in order (the default)
+# Usage: check.sh [lint|test|chaos|serve|overload|all]
+#   lint     build + vet + cachelint (the CI lint job)
+#   test     build + unit tests + race detector (the CI test job)
+#   chaos    build + fault-injection/robustness tests under the race
+#            detector (the CI chaos job)
+#   serve    build + open-loop serving tier: queueing-theory sanity,
+#            multi-seed bit-identity, worker invariance, chaos interop
+#            and the FigServe acceptance sweep (the CI serve job)
+#   overload build + SLO-aware overload control: deadlines, shedding,
+#            breakers, retries, serving-plane chaos and the
+#            FigOverload acceptance sweep (the CI overload job)
+#   all      every gate, in order (the default)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 mode="${1:-all}"
 case "$mode" in
-lint | test | chaos | serve | all) ;;
+lint | test | chaos | serve | overload | all) ;;
 *)
-	echo "check.sh: unknown mode '$mode' (want lint, test, chaos, serve, or all)" >&2
+	echo "check.sh: unknown mode '$mode' (want lint, test, chaos, serve, overload, or all)" >&2
 	exit 2
 	;;
 esac
@@ -62,6 +65,15 @@ if [ "$mode" = serve ] || [ "$mode" = all ]; then
 
 	echo '== go test (FigServe sweep: acceptance, determinism, chaos interop)'
 	go test -run 'FigServe' ./internal/harness/...
+fi
+
+if [ "$mode" = overload ] || [ "$mode" = all ]; then
+	echo '== go test (overload control: deadlines, shedding, breakers, retries, serve-plane chaos)'
+	go test ./internal/serve/... ./internal/fault/... \
+		-run 'Overload|Deadline|Shed|Breaker|RetryBudget|Burst|ServePlane|ServeConfig|UniformServe'
+
+	echo '== go test (FigOverload sweep: acceptance, chaos replay, worker invariance)'
+	go test -run 'FigOverload' ./internal/harness/...
 fi
 
 if [ "$mode" = chaos ] || [ "$mode" = all ]; then
